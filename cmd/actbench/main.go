@@ -1,0 +1,50 @@
+// Command actbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	actbench -exp table1            # one experiment, full scale
+//	actbench -exp fig20 -quick      # reduced scale
+//	actbench -all -quick            # every experiment
+//	actbench -list                  # enumerate experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jpegact/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list)")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "reduced problem sizes")
+	list := flag.Bool("list", false, "list experiment ids")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	o := experiments.Options{Quick: *quick, Seed: *seed}
+	ids := []string{*exp}
+	if *all {
+		ids = experiments.IDs()
+	} else if *exp == "" {
+		fmt.Fprintln(os.Stderr, "actbench: need -exp <id>, -all, or -list")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		r, err := experiments.Run(id, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "actbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(r)
+	}
+}

@@ -1,0 +1,98 @@
+// Command acttrain trains one of the bundled mini networks under a chosen
+// activation-compression method and reports per-epoch accuracy/PSNR,
+// compression ratio and recovered-activation error.
+//
+// Usage:
+//
+//	acttrain -model ResNet50 -method jpeg-act -epochs 6
+//	acttrain -model VDSR -method gist
+//	acttrain -model WRN -method jpeg-base80 -epochs 8 -lr 0.03
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"jpegact"
+)
+
+func methodByName(name string) (jpegact.Method, bool) {
+	switch strings.ToLower(name) {
+	case "baseline", "none", "vdnn":
+		return jpegact.Baseline(), true
+	case "cdma", "cdma+", "zvc":
+		return jpegact.CDMAPlus(), true
+	case "gist":
+		return jpegact.GIST(), true
+	case "sfpr":
+		return jpegact.SFPR(), true
+	case "jpeg-base80":
+		return jpegact.JPEGBase(80), true
+	case "jpeg-base60":
+		return jpegact.JPEGBase(60), true
+	case "jpeg-act", "optl5h":
+		return jpegact.JPEGACT(), true
+	case "optl":
+		return jpegact.JPEGACTWith(jpegact.FixedDQT(jpegact.OptL())), true
+	case "opth":
+		return jpegact.JPEGACTWith(jpegact.FixedDQT(jpegact.OptH())), true
+	}
+	return nil, false
+}
+
+func main() {
+	model := flag.String("model", "ResNet50", "VGG|ResNet18|ResNet50|ResNet101|WRN|VDSR")
+	method := flag.String("method", "jpeg-act",
+		"baseline|cdma|gist|sfpr|jpeg-base80|jpeg-base60|jpeg-act|optl|opth")
+	epochs := flag.Int("epochs", 6, "training epochs")
+	batches := flag.Int("batches", 8, "batches per epoch")
+	batch := flag.Int("batch", 8, "batch size")
+	lr := flag.Float64("lr", 0.05, "learning rate")
+	width := flag.Int("width", 8, "base channel width")
+	blocks := flag.Int("blocks", 1, "residual blocks per stage")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	flag.Parse()
+
+	m, ok := methodByName(*method)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "acttrain: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+	cfg := jpegact.TrainConfig{
+		Method: m, Epochs: *epochs, BatchesPerEpoch: *batches,
+		BatchSize: *batch, LR: *lr, MeasureError: true,
+	}
+	sc := jpegact.ModelScale{Width: *width, Blocks: *blocks}
+
+	var rep jpegact.TrainReport
+	if *model == "VDSR" {
+		if cfg.LR == 0.05 {
+			cfg.LR = 0.01
+		}
+		rep = jpegact.TrainSuperRes(sc, cfg, *seed)
+	} else {
+		rep = jpegact.TrainClassifier(*model, sc, cfg, *seed)
+	}
+
+	fmt.Printf("model=%s method=%s\n", rep.ModelName, rep.MethodName)
+	fmt.Printf("%-6s %-9s %-9s %-8s %-10s\n", "epoch", "loss", "score", "ratio", "act-L2-err")
+	for _, e := range rep.Epochs {
+		fmt.Printf("%-6d %-9.4f %-9.4f %-8.2f %-10.3e\n",
+			e.Epoch, e.Loss, e.Score, e.CompressionRatio, e.ActL2Error)
+	}
+	fmt.Printf("best score %.4f, final ratio %.2fx, diverged=%v\n",
+		rep.BestScore, rep.FinalRatio, rep.Diverged)
+	if len(rep.Footprint) > 0 {
+		fmt.Println("footprint by activation kind:")
+		for _, fe := range rep.Footprint {
+			fmt.Printf("  %-16s %8d B -> %8d B (%.2fx)\n",
+				fe.Kind.String(), fe.OriginalBytes, fe.CompressedBytes,
+				float64(fe.OriginalBytes)/float64(fe.CompressedBytes))
+		}
+	}
+	if rep.Diverged {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+// accel_pipeline drives the cycle-counted hardware model of the JPEG-ACT
+// CDU end to end: SFPR → fixed-point DCT → SH → ZVC → collector packets →
+// splitter → decompression, printing throughput, compression ratio and
+// the reconstruction error, plus the CDU-count scaling of Fig. 21.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"jpegact/internal/accel"
+	"jpegact/internal/data"
+	"jpegact/internal/quant"
+	"jpegact/internal/tensor"
+)
+
+func main() {
+	// 256 blocks of activation-like data in one SFPR channel.
+	r := tensor.NewRNG(9)
+	const nBlocks = 256
+	plane := data.ActivationLike(r, 8, 8*nBlocks, 0.5, 1.0)
+	blocks := make([][64]float32, nBlocks)
+	var maxAbs float32
+	for b := 0; b < nBlocks; b++ {
+		for row := 0; row < 8; row++ {
+			copy(blocks[b][row*8:(row+1)*8], plane[row*8*nBlocks+b*8:row*8*nBlocks+b*8+8])
+		}
+		for _, v := range blocks[b] {
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	sc := float32(1.125) / maxAbs // the SFPR channel scale, S = 1.125
+
+	fmt.Println("JPEG-ACT CDU datapath on", nBlocks, "8×8 blocks")
+	fmt.Printf("%-6s %-8s %-8s %-10s %-14s %s\n",
+		"CDUs", "cycles", "ratio", "packets", "B/cycle in", "worst err")
+	for _, n := range []int{1, 2, 4, 8} {
+		a := accel.New(n, quant.OptH())
+		s := a.Compress(blocks, sc)
+		rec, _ := a.Decompress(s, sc)
+		var worst float64
+		for b := range blocks {
+			for i := range blocks[b] {
+				if d := math.Abs(float64(rec[b][i] - blocks[b][i])); d > worst {
+					worst = d
+				}
+			}
+		}
+		fmt.Printf("%-6d %-8d %-8.2f %-10d %-14.1f %.4f\n",
+			n, s.Cycles, s.Ratio(), len(s.Packets), s.ThroughputBytesPerCycle(), worst)
+	}
+	fmt.Println("\none 256 B block per 8 cycles per CDU (32 B/cycle ingest);")
+	fmt.Println("the collector drains one block per cycle, so it never binds")
+	fmt.Println("for ≤ 8 CDUs — exactly the §III-G throughput argument.")
+}

@@ -1,0 +1,53 @@
+// entropy_analysis reproduces the insight that motivates JPEG-ACT
+// (Figs. 2 and 6): dense conv activations, like images, carry less
+// Shannon entropy in the DCT frequency domain than in the spatial domain
+// — and sparse ReLU outputs do not.
+package main
+
+import (
+	"fmt"
+
+	"jpegact"
+	"jpegact/internal/data"
+	"jpegact/internal/entropy"
+	"jpegact/internal/tensor"
+)
+
+func main() {
+	r := tensor.NewRNG(3)
+
+	analyze := func(name string, x *jpegact.Tensor) {
+		a := entropy.Analyze(x, 1.125)
+		fmt.Printf("%-22s spatial %.2f bits  frequency %.2f bits  gain %+.2f\n",
+			name, a.Spatial, a.Frequency, a.Gain())
+	}
+
+	// Natural-image-like smooth texture: big win for the DCT.
+	img := tensor.New(2, 3, 32, 32)
+	for i := 0; i < 6; i++ {
+		copy(img.Data[i*1024:(i+1)*1024], data.Texture(r, 32, 32, 6))
+	}
+	analyze("image (smooth)", img)
+
+	// Dense activation with a flatter spectrum: smaller but real win.
+	act := data.ActivationTensor(r, 2, 3, 32, 32, 0.5, 1.0)
+	analyze("dense conv activation", act)
+
+	// Sparse ReLU output: the transform stops paying off.
+	relu := act.Clone()
+	for i, v := range relu.Data {
+		if v < 0 || i%2 == 0 {
+			relu.Data[i] = 0
+		}
+	}
+	analyze("sparse ReLU output", relu)
+
+	// White noise: no spatial correlation, no gain.
+	noise := tensor.New(2, 3, 32, 32)
+	noise.FillNormal(r, 0, 1)
+	analyze("white noise", noise)
+
+	fmt.Println("\npositive gain = the frequency domain is the more compact")
+	fmt.Println("representation, so transform coding (JPEG-ACT) beats plain")
+	fmt.Println("precision reduction there; ZVC handles the sparse kinds.")
+}

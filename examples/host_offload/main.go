@@ -1,0 +1,68 @@
+// host_offload demonstrates the real offload path: after the forward
+// pass every saved activation is serialized into compressed host-memory
+// buffers and its float tensor is freed; activations are restored one at
+// a time, in reverse order, as the backward pass needs them — so the
+// live float footprint between forward and backward is just the
+// compressed bytes, exactly the paper's system-level saving.
+package main
+
+import (
+	"fmt"
+
+	"jpegact"
+	"jpegact/internal/compress"
+	"jpegact/internal/data"
+	"jpegact/internal/models"
+	"jpegact/internal/nn"
+	"jpegact/internal/offload"
+	"jpegact/internal/quant"
+	"jpegact/internal/tensor"
+)
+
+func main() {
+	m := models.ResNet50(models.Scale{Width: 8, Blocks: 2}, 4, tensor.NewRNG(1))
+	ds := data.NewClassification(data.ClassificationConfig{
+		Classes: 4, Channels: 3, H: 32, W: 32, Seed: 2,
+	})
+	x, labels := ds.Batch(8)
+
+	out := m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: x}, true)
+	loss, grad := nn.SoftmaxCrossEntropy(out.T, labels)
+	fmt.Printf("forward done, loss %.3f\n", loss)
+
+	store := offload.NewStore(quant.OptL())
+	orig, comp, err := store.OffloadAll(m.Net.SavedRefs())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("offloaded %d activations: %.2f MB float -> %.2f MB compressed host bytes (%.1fx)\n",
+		store.Stored(), float64(orig)/1e6, float64(comp)/1e6, float64(orig)/float64(comp))
+	fmt.Println("between forward and backward, only the compressed bytes are live")
+
+	// Restore in reverse order — the backward prefetch of Fig. 1a.
+	refs := m.Net.SavedRefs()
+	seen := map[*nn.ActRef]bool{}
+	restored := 0
+	for i := len(refs) - 1; i >= 0; i-- {
+		ref := refs[i]
+		if seen[ref] || ref.Mask != nil {
+			continue
+		}
+		seen[ref] = true
+		if err := store.Restore(ref); err != nil {
+			panic(err)
+		}
+		restored++
+	}
+	if err := store.RestoreAll(); err != nil { // drain BRC bookkeeping
+		panic(err)
+	}
+	fmt.Printf("restored %d activations for the backward pass\n", restored)
+
+	m.Net.Backward(grad)
+	fmt.Println("backward complete on the restored (lossy) activations")
+
+	// The same compression, driven through the one-call facade:
+	res := jpegact.CompressActivation(jpegact.JPEGACT(), x, jpegact.KindConv, 0)
+	fmt.Printf("(facade check: input batch compresses %.1fx)\n", res.Ratio())
+}

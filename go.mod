@@ -1,0 +1,3 @@
+module jpegact
+
+go 1.22

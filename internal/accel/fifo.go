@@ -1,0 +1,63 @@
+// Package accel is a cycle-counted functional model of the JPEG-ACT
+// offload accelerator datapath (Fig. 8): SFPR processing elements, the
+// 256 B alignment buffer, the two-pass fixed-point DCT unit, the SH
+// quantizer, ZVC coding, and the collector/splitter FIFOs that marshal
+// variable-size compressed blocks into fixed 128 B DMA packets
+// (DESIGN.md substitution 6). It is byte-exact with respect to its own
+// inverse and numerically equivalent (within integer rounding) to the
+// software pipeline in internal/compress, and its cycle counts back the
+// CDU throughput constants used by internal/gpusim.
+package accel
+
+import "errors"
+
+// ErrUnderflow is returned when a FIFO pop exceeds its fill.
+var ErrUnderflow = errors.New("accel: fifo underflow")
+
+// ByteFIFO models the collector IFIFO / splitter OFIFO: a byte queue
+// with variable-size pushes (0–72 B compressed blocks) and fixed-size
+// pops (128 B DMA packets), as in Fig. 15. Capacity is enforced like the
+// RTL: a push that would overflow stalls the producer (the caller checks
+// CanPush).
+type ByteFIFO struct {
+	buf      []byte
+	capacity int
+}
+
+// NewByteFIFO builds a FIFO of the given capacity (256 B in the paper).
+func NewByteFIFO(capacity int) *ByteFIFO {
+	return &ByteFIFO{capacity: capacity}
+}
+
+// Len returns the current fill in bytes.
+func (f *ByteFIFO) Len() int { return len(f.buf) }
+
+// CanPush reports whether n more bytes fit.
+func (f *ByteFIFO) CanPush(n int) bool { return len(f.buf)+n <= f.capacity }
+
+// Push appends data; the caller must have checked CanPush.
+func (f *ByteFIFO) Push(data []byte) {
+	if !f.CanPush(len(data)) {
+		panic("accel: fifo overflow (producer must stall)")
+	}
+	f.buf = append(f.buf, data...)
+}
+
+// Pop removes and returns n bytes from the head.
+func (f *ByteFIFO) Pop(n int) ([]byte, error) {
+	if len(f.buf) < n {
+		return nil, ErrUnderflow
+	}
+	out := make([]byte, n)
+	copy(out, f.buf[:n])
+	f.buf = f.buf[n:]
+	return out, nil
+}
+
+// Peek returns the first n bytes without removing them.
+func (f *ByteFIFO) Peek(n int) ([]byte, error) {
+	if len(f.buf) < n {
+		return nil, ErrUnderflow
+	}
+	return f.buf[:n], nil
+}

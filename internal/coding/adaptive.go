@@ -1,0 +1,298 @@
+package coding
+
+// Adaptive entropy coding — an extension beyond the paper's static JPEG
+// tables. The paper notes the standard Huffman tables were tuned for
+// image statistics; here a canonical Huffman code is built from the
+// actual (run, size) symbol histogram of the activation being coded and
+// shipped as a compact header. This is what a software offload library
+// would do where the hardware constraint on fixed tables does not apply,
+// and it quantifies how much the static tables leave on the table.
+
+import (
+	"sort"
+
+	"jpegact/internal/dct"
+)
+
+// symbolHistogram collects DC-size and AC-(run,size) symbol counts from
+// quantized blocks, exactly as the static encoder would emit them.
+func symbolHistogram(blocks [][64]int8) (dc, ac [256]int) {
+	prevDC := int32(0)
+	for bi := range blocks {
+		b := &blocks[bi]
+		d := int32(b[0])
+		dc[magnitudeCategory(d-prevDC)]++
+		prevDC = d
+		run := 0
+		for i := 1; i < 64; i++ {
+			v := int32(b[dct.Zigzag[i]])
+			if v == 0 {
+				run++
+				continue
+			}
+			for run >= 16 {
+				ac[0xf0]++
+				run -= 16
+			}
+			ac[byte(uint(run)<<4|magnitudeCategory(v))]++
+			run = 0
+		}
+		if run > 0 {
+			ac[0x00]++
+		}
+	}
+	return dc, ac
+}
+
+// buildCanonical constructs canonical Huffman code lengths (≤ 16 bits)
+// for the non-zero-count symbols. Length limiting uses weight damping:
+// if any code exceeds 16 bits, weights are halved (floored at 1) and the
+// tree rebuilt — convergence is guaranteed because equal weights yield
+// ≤ 8-bit codes for ≤ 256 symbols.
+func buildCanonical(hist *[256]int) huffSpec {
+	weights := map[int]int{}
+	for s, c := range hist {
+		if c > 0 {
+			weights[s] = c
+		}
+	}
+	if len(weights) == 0 {
+		return huffSpec{}
+	}
+	if len(weights) == 1 {
+		var spec huffSpec
+		spec.counts[0] = 1
+		for s := range weights {
+			spec.values = []byte{byte(s)}
+		}
+		return spec
+	}
+	var lengths map[int]int
+	for {
+		lengths = huffmanLengths(weights)
+		maxLen := 0
+		for _, l := range lengths {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen <= 16 {
+			break
+		}
+		for s, w := range weights {
+			weights[s] = 1 + w/2
+		}
+	}
+	// Canonical assignment: symbols sorted by (length, symbol value).
+	type ls struct{ sym, l int }
+	all := make([]ls, 0, len(lengths))
+	for s, l := range lengths {
+		all = append(all, ls{s, l})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].l != all[j].l {
+			return all[i].l < all[j].l
+		}
+		return all[i].sym < all[j].sym
+	})
+	var spec huffSpec
+	for _, e := range all {
+		spec.counts[e.l-1]++
+		spec.values = append(spec.values, byte(e.sym))
+	}
+	return spec
+}
+
+// huffmanLengths returns code lengths from a weight map via the standard
+// two-queue Huffman construction.
+func huffmanLengths(weights map[int]int) map[int]int {
+	type node struct {
+		weight int
+		sym    int
+		l, r   *node
+	}
+	heap := make([]*node, 0, len(weights))
+	for s, w := range weights {
+		heap = append(heap, &node{weight: w, sym: s})
+	}
+	sort.Slice(heap, func(i, j int) bool {
+		if heap[i].weight != heap[j].weight {
+			return heap[i].weight < heap[j].weight
+		}
+		return heap[i].sym < heap[j].sym
+	})
+	for len(heap) > 1 {
+		a, b := heap[0], heap[1]
+		heap = heap[2:]
+		n := &node{weight: a.weight + b.weight, sym: -1, l: a, r: b}
+		idx := sort.Search(len(heap), func(i int) bool { return heap[i].weight >= n.weight })
+		heap = append(heap, nil)
+		copy(heap[idx+1:], heap[idx:])
+		heap[idx] = n
+	}
+	lengths := map[int]int{}
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n.sym >= 0 {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.l, depth+1)
+		walk(n.r, depth+1)
+	}
+	walk(heap[0], 0)
+	return lengths
+}
+
+// EncodeJPEGBlocksAdaptive entropy-codes blocks with histograms-derived
+// canonical tables, prepending the table specs (17 + 17 bytes of counts
+// plus the value lists) to the stream.
+func EncodeJPEGBlocksAdaptive(blocks [][64]int8) []byte {
+	dcHist, acHist := symbolHistogram(blocks)
+	dcSpec := buildCanonical(&dcHist)
+	acSpec := buildCanonical(&acHist)
+	dcT := buildHuffTable(dcSpec)
+	acT := buildHuffTable(acSpec)
+
+	var w BitWriter
+	prevDC := int32(0)
+	for bi := range blocks {
+		b := &blocks[bi]
+		d := int32(b[0])
+		diff := d - prevDC
+		prevDC = d
+		size := magnitudeCategory(diff)
+		dcT.encode(&w, byte(size))
+		w.WriteBits(vliBits(diff, size), size)
+		run := 0
+		for i := 1; i < 64; i++ {
+			v := int32(b[dct.Zigzag[i]])
+			if v == 0 {
+				run++
+				continue
+			}
+			for run >= 16 {
+				acT.encode(&w, 0xf0)
+				run -= 16
+			}
+			s := magnitudeCategory(v)
+			acT.encode(&w, byte(uint(run)<<4|s))
+			w.WriteBits(vliBits(v, s), s)
+			run = 0
+		}
+		if run > 0 {
+			acT.encode(&w, 0x00)
+		}
+	}
+	body := w.Bytes()
+
+	out := make([]byte, 0, len(body)+64)
+	n := len(blocks)
+	out = append(out, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	out = appendSpec(out, dcSpec)
+	out = appendSpec(out, acSpec)
+	return append(out, body...)
+}
+
+func appendSpec(out []byte, s huffSpec) []byte {
+	out = append(out, s.counts[:]...)
+	out = append(out, byte(len(s.values)))
+	return append(out, s.values...)
+}
+
+func readSpec(data []byte) (huffSpec, []byte, error) {
+	var s huffSpec
+	if len(data) < 17 {
+		return s, nil, ErrCorrupt
+	}
+	copy(s.counts[:], data[:16])
+	n := int(data[16])
+	data = data[17:]
+	if len(data) < n {
+		return s, nil, ErrCorrupt
+	}
+	s.values = append([]byte(nil), data[:n]...)
+	total := 0
+	for _, c := range s.counts {
+		total += int(c)
+	}
+	if total != n {
+		return s, nil, ErrCorrupt
+	}
+	return s, data[n:], nil
+}
+
+// DecodeJPEGBlocksAdaptive reverses EncodeJPEGBlocksAdaptive.
+func DecodeJPEGBlocksAdaptive(data []byte) ([][64]int8, error) {
+	if len(data) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
+	// Sanity cap: every block needs at least one coded bit, so a count
+	// wildly beyond the stream length is corruption (and would otherwise
+	// be an allocation bomb).
+	if n < 0 || n > 8*len(data) {
+		return nil, ErrCorrupt
+	}
+	rest := data[4:]
+	dcSpec, rest, err := readSpec(rest)
+	if err != nil {
+		return nil, err
+	}
+	acSpec, rest, err := readSpec(rest)
+	if err != nil {
+		return nil, err
+	}
+	dcT := buildHuffTable(dcSpec)
+	acT := buildHuffTable(acSpec)
+
+	r := NewBitReader(rest)
+	blocks := make([][64]int8, n)
+	prevDC := int32(0)
+	for bi := 0; bi < n; bi++ {
+		b := &blocks[bi]
+		size, err := dcT.decode(r)
+		if err != nil {
+			return nil, err
+		}
+		bits, err := r.ReadBits(uint(size))
+		if err != nil {
+			return nil, err
+		}
+		d := prevDC + vliDecode(bits, uint(size))
+		prevDC = d
+		b[0] = int8(d)
+		for i := 1; i < 64; {
+			sym, err := acT.decode(r)
+			if err != nil {
+				return nil, err
+			}
+			if sym == 0x00 {
+				break
+			}
+			if sym == 0xf0 {
+				i += 16
+				if i > 64 {
+					return nil, ErrCorrupt
+				}
+				continue
+			}
+			run := int(sym >> 4)
+			s := uint(sym & 0x0f)
+			i += run
+			if i >= 64 {
+				return nil, ErrCorrupt
+			}
+			bits, err := r.ReadBits(s)
+			if err != nil {
+				return nil, err
+			}
+			b[dct.Zigzag[i]] = int8(vliDecode(bits, s))
+			i++
+		}
+	}
+	return blocks, nil
+}

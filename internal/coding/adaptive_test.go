@@ -1,0 +1,131 @@
+package coding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jpegact/internal/tensor"
+)
+
+func TestAdaptiveRoundtrip(t *testing.T) {
+	r := tensor.NewRNG(1)
+	for _, sp := range []float64{0, 0.3, 0.7, 0.95, 1.0} {
+		blocks := randomBlocks(r, 23, sp, 90)
+		enc := EncodeJPEGBlocksAdaptive(blocks)
+		dec, err := DecodeJPEGBlocksAdaptive(enc)
+		if err != nil {
+			t.Fatalf("sparsity %v: %v", sp, err)
+		}
+		if len(dec) != len(blocks) {
+			t.Fatalf("count %d", len(dec))
+		}
+		for i := range blocks {
+			if blocks[i] != dec[i] {
+				t.Fatalf("sparsity %v block %d mismatch", sp, i)
+			}
+		}
+	}
+}
+
+func TestAdaptiveEmptyAndCorrupt(t *testing.T) {
+	enc := EncodeJPEGBlocksAdaptive(nil)
+	dec, err := DecodeJPEGBlocksAdaptive(enc)
+	if err != nil || len(dec) != 0 {
+		t.Fatalf("empty: %v %d", err, len(dec))
+	}
+	if _, err := DecodeJPEGBlocksAdaptive([]byte{1, 0}); err != ErrCorrupt {
+		t.Fatalf("short stream: %v", err)
+	}
+	if _, err := DecodeJPEGBlocksAdaptive(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated table accepted")
+	}
+}
+
+func TestAdaptiveBeatsStaticOnSkewedData(t *testing.T) {
+	// Data with a tiny symbol alphabet (constant small values at fixed
+	// positions) should benefit from a fitted table despite the header.
+	blocks := make([][64]int8, 256)
+	r := tensor.NewRNG(2)
+	for i := range blocks {
+		for j := 0; j < 64; j += 2 {
+			blocks[i][j] = int8(1 + r.Intn(2)) // values 1..2 only
+		}
+	}
+	static := len(EncodeJPEGBlocks(blocks))
+	adaptive := len(EncodeJPEGBlocksAdaptive(blocks))
+	if adaptive >= static {
+		t.Fatalf("adaptive %dB should beat static %dB on skewed symbols", adaptive, static)
+	}
+}
+
+func TestAdaptiveHeaderCostVisibleOnTinyInputs(t *testing.T) {
+	// One block: the shipped tables dominate and static wins — the
+	// rate-area tradeoff that justifies fixed tables in hardware.
+	r := tensor.NewRNG(3)
+	blocks := randomBlocks(r, 1, 0.5, 60)
+	static := len(EncodeJPEGBlocks(blocks))
+	adaptive := len(EncodeJPEGBlocksAdaptive(blocks))
+	if adaptive <= static {
+		t.Fatalf("adaptive %dB should pay a header vs static %dB on one block", adaptive, static)
+	}
+}
+
+func TestAdaptivePropertyRoundtrip(t *testing.T) {
+	r := tensor.NewRNG(4)
+	f := func(nBlocks uint8, sp uint8, amp uint8) bool {
+		n := int(nBlocks%12) + 1
+		a := int(amp%126) + 1
+		blocks := randomBlocks(r, n, float64(sp%101)/100, a)
+		dec, err := DecodeJPEGBlocksAdaptive(EncodeJPEGBlocksAdaptive(blocks))
+		if err != nil || len(dec) != n {
+			return false
+		}
+		for i := range blocks {
+			if blocks[i] != dec[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildCanonicalKraft(t *testing.T) {
+	// The generated code must satisfy Kraft equality/inequality and
+	// decode every symbol.
+	r := tensor.NewRNG(5)
+	var hist [256]int
+	for i := 0; i < 256; i++ {
+		if r.Float64() < 0.4 {
+			hist[i] = 1 + r.Intn(10000)
+		}
+	}
+	spec := buildCanonical(&hist)
+	var kraft float64
+	for l := 1; l <= 16; l++ {
+		kraft += float64(spec.counts[l-1]) / float64(int(1)<<uint(l))
+	}
+	if kraft > 1.0000001 {
+		t.Fatalf("Kraft sum %v > 1", kraft)
+	}
+	tbl := buildHuffTable(spec)
+	for _, sym := range spec.values {
+		var w BitWriter
+		tbl.encode(&w, sym)
+		got, err := tbl.decode(NewBitReader(w.Bytes()))
+		if err != nil || got != sym {
+			t.Fatalf("symbol %#x roundtrip: %v %#x", sym, err, got)
+		}
+	}
+}
+
+func TestBuildCanonicalSingleSymbol(t *testing.T) {
+	var hist [256]int
+	hist[7] = 42
+	spec := buildCanonical(&hist)
+	if spec.counts[0] != 1 || len(spec.values) != 1 || spec.values[0] != 7 {
+		t.Fatalf("single-symbol spec %+v", spec)
+	}
+}

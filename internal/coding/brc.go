@@ -1,0 +1,43 @@
+package coding
+
+// Binary ReLU Compression (BRC, §II-B1): a ReLU activation that is not
+// consumed by a following conv layer only needs its sign in the backward
+// pass, because ∇x = (x > 0) ? ∇r : 0 (Eqn. 3). BRC therefore stores one
+// bit per element — a fixed 32× compression over float32.
+
+// EncodeBRC packs the (x > 0) mask of vals, one bit per element, LSB
+// first within each byte.
+func EncodeBRC(vals []float32) []byte {
+	out := make([]byte, (len(vals)+7)/8)
+	for i, v := range vals {
+		if v > 0 {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+// DecodeBRC expands the mask back to booleans; n is the element count.
+func DecodeBRC(data []byte, n int) ([]bool, error) {
+	if len(data) < (n+7)/8 {
+		return nil, ErrCorrupt
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = data[i/8]&(1<<uint(i%8)) != 0
+	}
+	return out, nil
+}
+
+// ApplyBRCMask implements the BRC backward pass: grad elements whose mask
+// bit is clear are zeroed in place.
+func ApplyBRCMask(mask []bool, grad []float32) {
+	if len(mask) != len(grad) {
+		panic("coding: BRC mask/grad length mismatch")
+	}
+	for i, m := range mask {
+		if !m {
+			grad[i] = 0
+		}
+	}
+}

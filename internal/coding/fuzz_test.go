@@ -1,0 +1,68 @@
+package coding
+
+import "testing"
+
+// Native fuzz targets: every decoder must return an error (or garbage
+// values) on arbitrary input — never panic, never over-allocate. The
+// seed corpus runs as part of the normal test suite; `go test -fuzz`
+// explores further.
+
+func FuzzDecodeJPEGBlocks(f *testing.F) {
+	var blk [64]int8
+	blk[0] = 5
+	blk[9] = -3
+	f.Add(EncodeJPEGBlocks([][64]int8{blk}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 64})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blocks, err := DecodeJPEGBlocks(data)
+		if err == nil && len(blocks) > 8*len(data) {
+			t.Fatalf("decoded %d blocks from %d bytes", len(blocks), len(data))
+		}
+	})
+}
+
+func FuzzDecodeJPEGBlocksAdaptive(f *testing.F) {
+	var blk [64]int8
+	blk[0] = 5
+	blk[13] = 11
+	f.Add(EncodeJPEGBlocksAdaptive([][64]int8{blk}))
+	f.Add([]byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeJPEGBlocksAdaptive(data)
+	})
+}
+
+func FuzzDecodeZVC(f *testing.F) {
+	f.Add(EncodeZVC([]int8{1, 0, 2, 0, 0, 0, 0, 3, 4}), 9)
+	f.Add([]byte{0xff}, 8)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 1<<16 {
+			return
+		}
+		out, err := DecodeZVC(data, n)
+		if err == nil && len(out) != n {
+			t.Fatalf("decoded %d values, want %d", len(out), n)
+		}
+	})
+}
+
+func FuzzDecodeRLE(f *testing.F) {
+	f.Add(EncodeRLE([]int8{0, 0, 5, 0, -1}), 5)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 1<<16 {
+			return
+		}
+		_, _ = DecodeRLE(data, n)
+	})
+}
+
+func FuzzDecodeCSR(f *testing.F) {
+	f.Add(EncodeCSR([]int8{0, 1, 0, 2, 0, 0, 3, 0}, 4), 8)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 1<<16 {
+			return
+		}
+		_, _ = DecodeCSR(data, n)
+	})
+}

@@ -1,0 +1,149 @@
+package coding
+
+import "jpegact/internal/dct"
+
+// The JPEG entropy coder (the RLE unit of JPEG-BASE): quantized 8×8 blocks
+// are zigzag-scanned, zero runs are folded into (run, size) symbols coded
+// with the standard Huffman tables, and the DC coefficient of each block is
+// coded as a difference from the previous block's DC.
+
+// magnitudeCategory returns the JPEG size category of v: the number of
+// bits needed for |v| (0 for v==0).
+func magnitudeCategory(v int32) uint {
+	if v < 0 {
+		v = -v
+	}
+	n := uint(0)
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// vliBits returns the JPEG variable-length-integer bit pattern for v in a
+// field of the given size: positive values as-is, negative values
+// one's-complement style (v - 1 in two's complement truncated to size).
+func vliBits(v int32, size uint) uint32 {
+	if v >= 0 {
+		return uint32(v)
+	}
+	return uint32(v-1) & ((1 << size) - 1)
+}
+
+// vliDecode reverses vliBits.
+func vliDecode(bits uint32, size uint) int32 {
+	if size == 0 {
+		return 0
+	}
+	if bits>>(size-1) != 0 { // leading 1 → non-negative
+		return int32(bits)
+	}
+	return int32(bits) - int32(uint32(1)<<size) + 1
+}
+
+// EncodeJPEGBlocks entropy-codes a sequence of quantized 8×8 blocks
+// (each a [64]int8 in row-major order). The first two bytes of the output
+// hold the block count (little endian).
+func EncodeJPEGBlocks(blocks [][64]int8) []byte {
+	var w BitWriter
+	prevDC := int32(0)
+	for bi := range blocks {
+		b := &blocks[bi]
+		// DC: difference from previous block.
+		dc := int32(b[0])
+		diff := dc - prevDC
+		prevDC = dc
+		size := magnitudeCategory(diff)
+		dcTable.encode(&w, byte(size))
+		w.WriteBits(vliBits(diff, size), size)
+
+		// AC: zigzag scan with (run, size) symbols.
+		run := 0
+		for i := 1; i < 64; i++ {
+			v := int32(b[dct.Zigzag[i]])
+			if v == 0 {
+				run++
+				continue
+			}
+			for run >= 16 {
+				acTable.encode(&w, 0xf0) // ZRL: 16 zeros
+				run -= 16
+			}
+			s := magnitudeCategory(v)
+			acTable.encode(&w, byte(uint(run)<<4|s))
+			w.WriteBits(vliBits(v, s), s)
+			run = 0
+		}
+		if run > 0 {
+			acTable.encode(&w, 0x00) // EOB
+		}
+	}
+	body := w.Bytes()
+	n := len(blocks)
+	out := make([]byte, 0, len(body)+4)
+	out = append(out, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	return append(out, body...)
+}
+
+// DecodeJPEGBlocks reverses EncodeJPEGBlocks.
+func DecodeJPEGBlocks(data []byte) ([][64]int8, error) {
+	if len(data) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
+	// Sanity cap: every block needs at least one coded bit, so a count
+	// wildly beyond the stream length is corruption (and would otherwise
+	// be an allocation bomb).
+	if n < 0 || n > 8*len(data) {
+		return nil, ErrCorrupt
+	}
+	r := NewBitReader(data[4:])
+	blocks := make([][64]int8, n)
+	prevDC := int32(0)
+	for bi := 0; bi < n; bi++ {
+		b := &blocks[bi]
+		size, err := dcTable.decode(r)
+		if err != nil {
+			return nil, err
+		}
+		bits, err := r.ReadBits(uint(size))
+		if err != nil {
+			return nil, err
+		}
+		diff := vliDecode(bits, uint(size))
+		dc := prevDC + diff
+		prevDC = dc
+		b[0] = int8(dc)
+
+		for i := 1; i < 64; {
+			sym, err := acTable.decode(r)
+			if err != nil {
+				return nil, err
+			}
+			if sym == 0x00 { // EOB
+				break
+			}
+			if sym == 0xf0 { // ZRL
+				i += 16
+				if i > 64 {
+					return nil, ErrCorrupt
+				}
+				continue
+			}
+			run := int(sym >> 4)
+			s := uint(sym & 0x0f)
+			i += run
+			if i >= 64 {
+				return nil, ErrCorrupt
+			}
+			bits, err := r.ReadBits(s)
+			if err != nil {
+				return nil, err
+			}
+			b[dct.Zigzag[i]] = int8(vliDecode(bits, s))
+			i++
+		}
+	}
+	return blocks, nil
+}

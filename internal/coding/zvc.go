@@ -1,0 +1,72 @@
+package coding
+
+// Zero Value Compression (ZVC, §II-B4, Fig. 4): for every group of eight
+// 8-bit values a one-byte non-zero mask is emitted followed by the packed
+// non-zero bytes. Compression is insensitive to the *distribution* of
+// zeros, which is why JPEG-ACT prefers it over run-length coding for
+// frequency-domain activations whose zeros are randomly spread (§VI-C).
+// The mask bounds the maximum compression at 8× for 8-bit values.
+
+// EncodeZVC compresses vals (any length; the tail group may be short).
+func EncodeZVC(vals []int8) []byte {
+	out := make([]byte, 0, len(vals)/4+8)
+	for i := 0; i < len(vals); i += 8 {
+		end := i + 8
+		if end > len(vals) {
+			end = len(vals)
+		}
+		var mask byte
+		for j := i; j < end; j++ {
+			if vals[j] != 0 {
+				mask |= 1 << uint(j-i)
+			}
+		}
+		out = append(out, mask)
+		for j := i; j < end; j++ {
+			if vals[j] != 0 {
+				out = append(out, byte(vals[j]))
+			}
+		}
+	}
+	return out
+}
+
+// DecodeZVC reverses EncodeZVC; n is the original value count.
+func DecodeZVC(data []byte, n int) ([]int8, error) {
+	out := make([]int8, n)
+	p := 0
+	for i := 0; i < n; i += 8 {
+		if p >= len(data) {
+			return nil, ErrCorrupt
+		}
+		mask := data[p]
+		p++
+		end := i + 8
+		if end > n {
+			end = n
+		}
+		for j := i; j < end; j++ {
+			if mask&(1<<uint(j-i)) != 0 {
+				if p >= len(data) {
+					return nil, ErrCorrupt
+				}
+				out[j] = int8(data[p])
+				p++
+			}
+		}
+	}
+	return out, nil
+}
+
+// ZVCSize returns the encoded size in bytes without materializing the
+// stream, for fast compression-ratio accounting.
+func ZVCSize(vals []int8) int {
+	groups := (len(vals) + 7) / 8
+	nz := 0
+	for _, v := range vals {
+		if v != 0 {
+			nz++
+		}
+	}
+	return groups + nz
+}

@@ -1,0 +1,196 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"jpegact/internal/coding"
+	"jpegact/internal/quant"
+	"jpegact/internal/tensor"
+)
+
+// Container format: a self-describing serialization of one JPEG-ACT-
+// compressed activation, suitable for writing to disk or shipping over a
+// network. Layout (little endian):
+//
+//	magic "JACT"  | version u8 | flags u8 (bit0: shift, bit1: zvc)
+//	shape 4×u32   | S f32      | DQT 64×f32
+//	scales u32 + n×f32
+//	payload u32 + bytes (ZVC of quantized blocks, or JPEG entropy stream)
+//
+// Unlike Roundtrip — which simulates storage — WriteTensor/ReadTensor
+// really persist only the compressed form.
+
+// ErrBadContainer is returned for malformed container streams.
+var ErrBadContainer = errors.New("compress: bad container")
+
+var containerMagic = [4]byte{'J', 'A', 'C', 'T'}
+
+const containerVersion = 1
+
+// WriteTensor compresses x through the pipeline and writes the container,
+// returning the payload size in bytes.
+func (p *Pipeline) WriteTensor(w io.Writer, x *tensor.Tensor) (int, error) {
+	blocks, scales, info := p.QuantizeBlocks(x)
+	var payload []byte
+	if p.UseZVC {
+		flat := make([]int8, 0, len(blocks)*64)
+		for i := range blocks {
+			flat = append(flat, blocks[i][:]...)
+		}
+		payload = coding.EncodeZVC(flat)
+	} else if p.Adaptive {
+		payload = coding.EncodeJPEGBlocksAdaptive(blocks)
+	} else {
+		payload = coding.EncodeJPEGBlocks(blocks)
+	}
+	_ = info // reconstructable from the shape
+
+	if _, err := w.Write(containerMagic[:]); err != nil {
+		return 0, err
+	}
+	flags := byte(0)
+	if p.UseShift {
+		flags |= 1
+	}
+	if p.UseZVC {
+		flags |= 2
+	}
+	if p.Adaptive {
+		flags |= 4
+	}
+	hdr := []interface{}{
+		byte(containerVersion), flags,
+		uint32(x.Shape.N), uint32(x.Shape.C), uint32(x.Shape.H), uint32(x.Shape.W),
+		float32(p.s()),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return 0, err
+		}
+	}
+	for _, e := range p.DQT.Entries {
+		if err := binary.Write(w, binary.LittleEndian, float32(e)); err != nil {
+			return 0, err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(scales))); err != nil {
+		return 0, err
+	}
+	for _, s := range scales {
+		if err := binary.Write(w, binary.LittleEndian, s); err != nil {
+			return 0, err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(payload))); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return len(payload), nil
+}
+
+// ReadTensor parses a container and reconstructs the activation.
+func ReadTensor(r io.Reader) (*tensor.Tensor, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != containerMagic {
+		return nil, ErrBadContainer
+	}
+	var version, flags byte
+	var n, c, h, w uint32
+	var s float32
+	for _, v := range []interface{}{&version, &flags, &n, &c, &h, &w, &s} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	if version != containerVersion {
+		return nil, fmt.Errorf("compress: container version %d: %w", version, ErrBadContainer)
+	}
+	const maxDim = 1 << 20
+	if n == 0 || c == 0 || h == 0 || w == 0 || n > maxDim || c > maxDim || h > maxDim || w > maxDim {
+		return nil, ErrBadContainer
+	}
+	// Cap total elements so a corrupt header cannot become an allocation
+	// bomb (1 GiB of float32).
+	if uint64(n)*uint64(c)*uint64(h)*uint64(w) > 1<<28 {
+		return nil, ErrBadContainer
+	}
+	var d quant.DQT
+	d.Name = "container"
+	for i := range d.Entries {
+		var e float32
+		if err := binary.Read(r, binary.LittleEndian, &e); err != nil {
+			return nil, err
+		}
+		if e <= 0 || math.IsNaN(float64(e)) {
+			return nil, ErrBadContainer
+		}
+		d.Entries[i] = float64(e)
+	}
+	var nScales uint32
+	if err := binary.Read(r, binary.LittleEndian, &nScales); err != nil {
+		return nil, err
+	}
+	if nScales != c {
+		return nil, ErrBadContainer
+	}
+	scales := make([]float32, nScales)
+	for i := range scales {
+		if err := binary.Read(r, binary.LittleEndian, &scales[i]); err != nil {
+			return nil, err
+		}
+	}
+	var payloadLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &payloadLen); err != nil {
+		return nil, err
+	}
+	if payloadLen > 1<<30 {
+		return nil, ErrBadContainer
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+
+	p := Pipeline{DQT: d, UseShift: flags&1 != 0, UseZVC: flags&2 != 0,
+		Adaptive: flags&4 != 0, S: float64(s)}
+	shape := tensor.Shape{N: int(n), C: int(c), H: int(h), W: int(w)}
+	// Rebuild the pad geometry from the shape.
+	probe := tensor.New(shape.N, shape.C, shape.H, shape.W)
+	_, info := tensor.PadForBlocks(probe, 8)
+	nBlocks := info.PaddedElems() / 64
+
+	var blocks [][64]int8
+	if p.UseZVC {
+		flat, err := coding.DecodeZVC(payload, nBlocks*64)
+		if err != nil {
+			return nil, err
+		}
+		blocks = make([][64]int8, nBlocks)
+		for i := range blocks {
+			copy(blocks[i][:], flat[i*64:(i+1)*64])
+		}
+	} else {
+		var err error
+		if p.Adaptive {
+			blocks, err = coding.DecodeJPEGBlocksAdaptive(payload)
+		} else {
+			blocks, err = coding.DecodeJPEGBlocks(payload)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(blocks) != nBlocks {
+			return nil, ErrBadContainer
+		}
+	}
+	return p.ReconstructBlocks(blocks, scales, info), nil
+}

@@ -1,0 +1,88 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+
+	"jpegact/internal/data"
+	"jpegact/internal/quant"
+	"jpegact/internal/tensor"
+)
+
+func TestContainerRoundtrip(t *testing.T) {
+	r := tensor.NewRNG(1)
+	x := data.ActivationTensor(r, 2, 4, 16, 16, 0.5, 1.0)
+	for _, p := range []Pipeline{
+		JPEGAct(quant.OptH()),
+		JPEGBase(quant.JPEGQuality(80)),
+		{DQT: quant.OptL(), Adaptive: true, S: 1.125},
+	} {
+		var buf bytes.Buffer
+		payload, err := p.WriteTensor(&buf, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload <= 0 || payload >= x.Bytes() {
+			t.Fatalf("payload %d vs original %d", payload, x.Bytes())
+		}
+		got, err := ReadTensor(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Must match the in-memory roundtrip exactly.
+		want, _ := p.Roundtrip(x)
+		if tensor.MSE(want, got) != 0 {
+			t.Fatal("container reconstruction differs from Roundtrip")
+		}
+	}
+}
+
+func TestContainerPaddedShapes(t *testing.T) {
+	r := tensor.NewRNG(2)
+	x := tensor.New(1, 3, 6, 10) // needs NCH and W padding
+	x.FillNormal(r, 0, 1)
+	p := JPEGAct(quant.OptL())
+	var buf bytes.Buffer
+	if _, err := p.WriteTensor(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTensor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shape != x.Shape {
+		t.Fatalf("shape %v", got.Shape)
+	}
+}
+
+func TestContainerRejectsCorruption(t *testing.T) {
+	r := tensor.NewRNG(3)
+	x := data.ActivationTensor(r, 1, 2, 16, 16, 0.5, 1.0)
+	p := JPEGAct(quant.OptH())
+	var buf bytes.Buffer
+	if _, err := p.WriteTensor(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ReadTensor(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadTensor(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("truncated container accepted")
+	}
+	// Version bump.
+	bad := append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := ReadTensor(bytes.NewReader(bad)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	// Shape bomb.
+	bomb := append([]byte(nil), good...)
+	for i := 6; i < 22; i++ {
+		bomb[i] = 0xff
+	}
+	if _, err := ReadTensor(bytes.NewReader(bomb)); err == nil {
+		t.Fatal("shape bomb accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package compress
+
+import (
+	"jpegact/internal/accel"
+	"jpegact/internal/dct"
+	"jpegact/internal/quant"
+	"jpegact/internal/sfpr"
+	"jpegact/internal/tensor"
+)
+
+// HardwareJPEGACT is JPEG-ACT backed by the cycle-counted CDU datapath of
+// internal/accel instead of the float functional pipeline: SFPR codes are
+// blocked through the alignment-buffer layout, pushed through the
+// fixed-point DCT → SH → ZVC stages, marshalled into 128 B DMA packets by
+// the collector, and decompressed back through the splitter. Use it to
+// verify that training under the *hardware* datapath behaves like
+// training under the functional simulation, and to account cycles.
+type HardwareJPEGACT struct {
+	Schedule quant.Schedule
+	NumCDU   int
+	S        float64
+	// TotalCycles accumulates compression-side CDU cycles across calls.
+	TotalCycles int64
+}
+
+// NewHardwareJPEGACT builds the hardware-backed method with n CDUs.
+func NewHardwareJPEGACT(s quant.Schedule, n int) *HardwareJPEGACT {
+	return &HardwareJPEGACT{Schedule: s, NumCDU: n}
+}
+
+// Name implements Method.
+func (h *HardwareJPEGACT) Name() string { return "JPEG-ACT-HW/" + h.Schedule.Name }
+
+// Lossless implements Method.
+func (*HardwareJPEGACT) Lossless() bool { return false }
+
+func (h *HardwareJPEGACT) scale() float64 {
+	if h.S == 0 {
+		return sfpr.DefaultS
+	}
+	return h.S
+}
+
+// Compress implements Method with the Table II policy; the conv/sum path
+// runs on the accel datapath.
+func (h *HardwareJPEGACT) Compress(x *tensor.Tensor, kind Kind, epoch int) Result {
+	if kind != KindConv || !jpegApplicable(x.Shape) {
+		// Non-JPEG kinds follow the same policy as the functional method.
+		sw := NewJPEGAct(h.Schedule)
+		sw.S = h.S
+		return sw.Compress(x, kind, epoch)
+	}
+	orig := x.Bytes()
+
+	// SFPR with per-channel scales, then the padded block layout the
+	// alignment buffer sees (§III-C).
+	c := sfpr.Compress(x, h.scale())
+	codes := tensor.New(x.Shape.N, x.Shape.C, x.Shape.H, x.Shape.W)
+	for i, v := range c.Values {
+		codes.Data[i] = float32(v)
+	}
+	padded, info := tensor.PadForBlocks(codes, dct.BlockSize)
+	cols := info.BlockCols
+	nb := (info.BlockRows / 8) * (cols / 8)
+	blocks := make([][64]int8, nb)
+	bi := 0
+	for by := 0; by < info.BlockRows/8; by++ {
+		for bx := 0; bx < cols/8; bx++ {
+			for r := 0; r < 8; r++ {
+				for cc := 0; cc < 8; cc++ {
+					blocks[bi][r*8+cc] = int8(padded[(by*8+r)*cols+bx*8+cc])
+				}
+			}
+			bi++
+		}
+	}
+
+	a := accel.New(h.NumCDU, *h.Schedule.For(epoch))
+	stream := a.CompressCodes(blocks)
+	h.TotalCycles += int64(stream.Cycles)
+	recBlocks, _ := a.DecompressCodes(stream)
+
+	// Rebuild the code plane, unpad, and undo SFPR.
+	recPadded := make([]float32, info.PaddedElems())
+	bi = 0
+	for by := 0; by < info.BlockRows/8; by++ {
+		for bx := 0; bx < cols/8; bx++ {
+			for r := 0; r < 8; r++ {
+				for cc := 0; cc < 8; cc++ {
+					recPadded[(by*8+r)*cols+bx*8+cc] = float32(recBlocks[bi][r*8+cc])
+				}
+			}
+			bi++
+		}
+	}
+	recCodes := tensor.UnpadFromBlocks(recPadded, info)
+	vals := make([]int8, recCodes.Elems())
+	for i, v := range recCodes.Data {
+		vals[i] = int8(v)
+	}
+	out := tensor.New(x.Shape.N, x.Shape.C, x.Shape.H, x.Shape.W)
+	sfpr.DequantizeInto(vals, c.Scales, out)
+
+	return Result{
+		Recovered:       out,
+		CompressedBytes: stream.Bytes + 4*len(c.Scales),
+		OriginalBytes:   orig,
+	}
+}

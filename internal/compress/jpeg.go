@@ -1,0 +1,193 @@
+// Package compress composes the building blocks (sfpr, dct, quant,
+// coding) into the activation-compression methods evaluated by the paper:
+// the uncompressed baseline, cDMA+ (ZVC), GIST (DPR+BRC+CSR), SFPR-only,
+// JPEG-BASE (SFPR+DCT+DIV+RLE) and JPEG-ACT (SFPR+DCT+SH+ZVC), together
+// with the per-activation-type policy of Table II.
+package compress
+
+import (
+	"jpegact/internal/coding"
+	"jpegact/internal/dct"
+	"jpegact/internal/quant"
+	"jpegact/internal/sfpr"
+	"jpegact/internal/tensor"
+)
+
+// Pipeline is one configuration of the JPEG activation pipeline:
+// SFPR → 8×8 DCT → {DIV | SH} quantization → {RLE | ZVC} coding.
+type Pipeline struct {
+	DQT      quant.DQT
+	UseShift bool // SH instead of DIV (JPEG-ACT)
+	UseZVC   bool // ZVC instead of RLE (JPEG-ACT)
+	// Adaptive selects per-tensor canonical Huffman tables for the RLE
+	// coder (a software-only extension; hardware keeps static tables).
+	Adaptive bool
+	S        float64 // SFPR global scale
+}
+
+// JPEGBase returns the JPEG-BASE pipeline with the given DQT.
+func JPEGBase(d quant.DQT) Pipeline {
+	return Pipeline{DQT: d, UseShift: false, UseZVC: false, S: sfpr.DefaultS}
+}
+
+// JPEGAct returns the JPEG-ACT pipeline with the given DQT.
+func JPEGAct(d quant.DQT) Pipeline {
+	return Pipeline{DQT: d, UseShift: true, UseZVC: true, S: sfpr.DefaultS}
+}
+
+// QuantizeBlocks runs the pipeline through quantization, returning the
+// quantized 8×8 blocks, the SFPR scales, and the pad info needed to
+// reconstruct. Exposed for the DQT optimizer and entropy analyses.
+func (p *Pipeline) QuantizeBlocks(x *tensor.Tensor) ([][64]int8, []float32, tensor.PadInfo) {
+	c := sfpr.Compress(x, p.s())
+	codes := tensor.New(x.Shape.N, x.Shape.C, x.Shape.H, x.Shape.W)
+	for i, v := range c.Values {
+		codes.Data[i] = float32(v)
+	}
+	padded, info := tensor.PadForBlocks(codes, dct.BlockSize)
+	cols := info.BlockCols
+	nb := (info.BlockRows / 8) * (cols / 8)
+	blocks := make([][64]int8, 0, nb)
+
+	var blk dct.Block
+	var coef [64]float32
+	for by := 0; by < info.BlockRows/8; by++ {
+		for bx := 0; bx < cols/8; bx++ {
+			for r := 0; r < 8; r++ {
+				for cc := 0; cc < 8; cc++ {
+					blk[r*8+cc] = padded[(by*8+r)*cols+bx*8+cc]
+				}
+			}
+			dct.Forward8x8(&blk)
+			copy(coef[:], blk[:])
+			var q [64]int8
+			if p.UseShift {
+				quant.ShiftQuantizeFloat(&coef, &p.DQT, &q)
+			} else {
+				quant.DivQuantize(&coef, &p.DQT, &q)
+			}
+			blocks = append(blocks, q)
+		}
+	}
+	return blocks, c.Scales, info
+}
+
+// ReconstructBlocks inverts QuantizeBlocks: dequantize, inverse DCT,
+// clip back to the int8 SFPR code range, undo padding and SFPR scaling.
+func (p *Pipeline) ReconstructBlocks(blocks [][64]int8, scales []float32, info tensor.PadInfo) *tensor.Tensor {
+	cols := info.BlockCols
+	padded := make([]float32, info.PaddedElems())
+	var blk dct.Block
+	var coef [64]float32
+	bi := 0
+	for by := 0; by < info.BlockRows/8; by++ {
+		for bx := 0; bx < cols/8; bx++ {
+			q := &blocks[bi]
+			bi++
+			if p.UseShift {
+				quant.ShiftDequantizeFloat(q, &p.DQT, &coef)
+			} else {
+				quant.DivDequantize(q, &p.DQT, &coef)
+			}
+			copy(blk[:], coef[:])
+			dct.Inverse8x8(&blk)
+			for r := 0; r < 8; r++ {
+				for cc := 0; cc < 8; cc++ {
+					padded[(by*8+r)*cols+bx*8+cc] = clampCode(blk[r*8+cc])
+				}
+			}
+		}
+	}
+	codes := tensor.UnpadFromBlocks(padded, info)
+	vals := make([]int8, codes.Elems())
+	for i, v := range codes.Data {
+		vals[i] = int8(v)
+	}
+	out := tensor.New(info.Orig.N, info.Orig.C, info.Orig.H, info.Orig.W)
+	sfpr.DequantizeInto(vals, scales, out)
+	return out
+}
+
+func clampCode(v float32) float32 {
+	r := v
+	if r >= 0 {
+		r += 0.5
+	} else {
+		r -= 0.5
+	}
+	q := int32(r)
+	if q > 127 {
+		q = 127
+	}
+	if q < -128 {
+		q = -128
+	}
+	return float32(q)
+}
+
+// Roundtrip compresses x through the full pipeline and returns the
+// recovered activation plus the compressed byte count (coded stream +
+// per-channel scales). The coded stream is actually encoded and decoded,
+// so the losslessness of the coding stage is exercised on every call.
+func (p *Pipeline) Roundtrip(x *tensor.Tensor) (*tensor.Tensor, int) {
+	blocks, scales, info := p.QuantizeBlocks(x)
+	var bytes int
+	var decoded [][64]int8
+	if p.UseZVC {
+		flat := make([]int8, 0, len(blocks)*64)
+		for i := range blocks {
+			flat = append(flat, blocks[i][:]...)
+		}
+		enc := coding.EncodeZVC(flat)
+		bytes = len(enc)
+		back, err := coding.DecodeZVC(enc, len(flat))
+		if err != nil {
+			panic("compress: ZVC roundtrip failed: " + err.Error())
+		}
+		decoded = make([][64]int8, len(blocks))
+		for i := range decoded {
+			copy(decoded[i][:], back[i*64:(i+1)*64])
+		}
+	} else if p.Adaptive {
+		enc := coding.EncodeJPEGBlocksAdaptive(blocks)
+		bytes = len(enc)
+		var err error
+		decoded, err = coding.DecodeJPEGBlocksAdaptive(enc)
+		if err != nil {
+			panic("compress: adaptive entropy roundtrip failed: " + err.Error())
+		}
+	} else {
+		enc := coding.EncodeJPEGBlocks(blocks)
+		bytes = len(enc)
+		var err error
+		decoded, err = coding.DecodeJPEGBlocks(enc)
+		if err != nil {
+			panic("compress: JPEG entropy roundtrip failed: " + err.Error())
+		}
+	}
+	bytes += 4 * len(scales)
+	return p.ReconstructBlocks(decoded, scales, info), bytes
+}
+
+func (p *Pipeline) s() float64 {
+	if p.S == 0 {
+		return sfpr.DefaultS
+	}
+	return p.S
+}
+
+// CodedSize returns the coded size in bytes of already-quantized blocks
+// under this pipeline's coder, without materializing streams.
+func (p *Pipeline) CodedSize(blocks [][64]int8) int {
+	if p.UseZVC {
+		n := 0
+		for i := range blocks {
+			n += coding.ZVCSize(blocks[i][:])
+		}
+		return n
+	}
+	if p.Adaptive {
+		return len(coding.EncodeJPEGBlocksAdaptive(blocks))
+	}
+	return len(coding.EncodeJPEGBlocks(blocks))
+}

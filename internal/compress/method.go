@@ -1,0 +1,331 @@
+package compress
+
+import (
+	"jpegact/internal/coding"
+	"jpegact/internal/quant"
+	"jpegact/internal/sfpr"
+	"jpegact/internal/tensor"
+)
+
+// Kind classifies an activation for the policy of Table II.
+type Kind int
+
+const (
+	// KindConv is a dense conv or residual-sum output.
+	KindConv Kind = iota
+	// KindReLUToOther is a ReLU output not consumed by a conv layer: only
+	// its sign mask is needed in the backward pass, so BRC applies.
+	KindReLUToOther
+	// KindReLUToConv is a ReLU output consumed by a conv layer: the values
+	// themselves are needed.
+	KindReLUToConv
+	// KindPoolDropout is a pooling or dropout output.
+	KindPoolDropout
+)
+
+// String names the kind as in Table II.
+func (k Kind) String() string {
+	switch k {
+	case KindConv:
+		return "conv/sum"
+	case KindReLUToOther:
+		return "ReLU(to other)"
+	case KindReLUToConv:
+		return "ReLU(to conv)"
+	case KindPoolDropout:
+		return "pool/dropout"
+	}
+	return "unknown"
+}
+
+// Result describes one compressed activation.
+type Result struct {
+	// Recovered is the lossy reconstruction to be used in the backward
+	// pass. It is nil when only a mask is stored (BRC).
+	Recovered *tensor.Tensor
+	// Mask is the BRC sign mask when Recovered is nil.
+	Mask []bool
+	// CompressedBytes is the offloaded footprint.
+	CompressedBytes int
+	// OriginalBytes is the float32 footprint.
+	OriginalBytes int
+}
+
+// Ratio returns the compression ratio (original / compressed).
+func (r Result) Ratio() float64 {
+	if r.CompressedBytes == 0 {
+		return 1
+	}
+	return float64(r.OriginalBytes) / float64(r.CompressedBytes)
+}
+
+// Method is one activation-compression scheme. Epoch is passed so
+// piece-wise DQT schedules (optL5H) can switch tables during training.
+type Method interface {
+	Name() string
+	Compress(x *tensor.Tensor, kind Kind, epoch int) Result
+	// Lossless reports whether reconstruction is bit-exact.
+	Lossless() bool
+}
+
+// ---------------------------------------------------------------------------
+
+// Baseline stores activations uncompressed (the vDNN offload setting).
+type Baseline struct{}
+
+func (Baseline) Name() string   { return "baseline" }
+func (Baseline) Lossless() bool { return true }
+
+func (Baseline) Compress(x *tensor.Tensor, _ Kind, _ int) Result {
+	return Result{Recovered: x.Clone(), CompressedBytes: x.Bytes(), OriginalBytes: x.Bytes()}
+}
+
+// ---------------------------------------------------------------------------
+
+// CDMAPlus is the re-implemented cDMA of Rhu et al. as a DMA-side method:
+// lossless ZVC over 32-bit values for sparse activations, no compression
+// for dense conv/sum outputs.
+type CDMAPlus struct{}
+
+func (CDMAPlus) Name() string   { return "cDMA+" }
+func (CDMAPlus) Lossless() bool { return true }
+
+func (CDMAPlus) Compress(x *tensor.Tensor, kind Kind, _ int) Result {
+	orig := x.Bytes()
+	if kind == KindConv {
+		return Result{Recovered: x.Clone(), CompressedBytes: orig, OriginalBytes: orig}
+	}
+	// ZVC over float32: one mask byte per eight values + 4B per non-zero.
+	groups := (x.Elems() + 7) / 8
+	nz := 0
+	for _, v := range x.Data {
+		if v != 0 {
+			nz++
+		}
+	}
+	return Result{Recovered: x.Clone(), CompressedBytes: groups + 4*nz, OriginalBytes: orig}
+}
+
+// ---------------------------------------------------------------------------
+
+// GIST implements the functional behaviour of Jain et al.'s GIST: 8-bit
+// DPR for dense activations, BRC for ReLU-to-other, and DPR+CSR sparse
+// storage for the remaining sparse kinds.
+type GIST struct {
+	Format sfpr.Minifloat // DPR format; zero value means 8-bit (FP8)
+}
+
+func (g GIST) Name() string {
+	if g.format().Bits() == 16 {
+		return "GIST-16"
+	}
+	return "GIST"
+}
+
+func (GIST) Lossless() bool { return false }
+
+func (g GIST) format() sfpr.Minifloat {
+	if g.Format.ExpBits == 0 {
+		return sfpr.FP8
+	}
+	return g.Format
+}
+
+func (g GIST) Compress(x *tensor.Tensor, kind Kind, _ int) Result {
+	orig := x.Bytes()
+	f := g.format()
+	perVal := f.Bits() / 8
+	switch kind {
+	case KindReLUToOther:
+		mask, err := coding.DecodeBRC(coding.EncodeBRC(x.Data), x.Elems())
+		if err != nil {
+			panic("compress: BRC roundtrip failed")
+		}
+		return Result{Mask: mask, CompressedBytes: (x.Elems() + 7) / 8, OriginalBytes: orig}
+	case KindReLUToConv, KindPoolDropout:
+		rec := sfpr.DPR(x, f)
+		codes := sfpr.DPRInt8Codes(x, f)
+		width := 256
+		for len(codes)%width != 0 {
+			width /= 2
+		}
+		// CSR stores one index byte per value regardless of DPR width.
+		bytes := coding.CSRSize(codes, width) + (perVal-1)*nonzero(codes)
+		return Result{Recovered: rec, CompressedBytes: bytes, OriginalBytes: orig}
+	default:
+		rec := sfpr.DPR(x, f)
+		return Result{Recovered: rec, CompressedBytes: x.Elems() * perVal, OriginalBytes: orig}
+	}
+}
+
+func nonzero(codes []int8) int {
+	n := 0
+	for _, v := range codes {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+
+// SFPROnly applies Scaled Fix-point Precision Reduction to every
+// activation kind — the "SFPR" column of Table I (a fixed 4× ratio plus
+// scale storage).
+type SFPROnly struct {
+	S float64 // global scale; zero means DefaultS
+}
+
+func (SFPROnly) Name() string   { return "SFPR" }
+func (SFPROnly) Lossless() bool { return false }
+
+func (m SFPROnly) Compress(x *tensor.Tensor, _ Kind, _ int) Result {
+	s := m.S
+	if s == 0 {
+		s = sfpr.DefaultS
+	}
+	rec, bytes := sfpr.Roundtrip(x, s)
+	return Result{Recovered: rec, CompressedBytes: bytes, OriginalBytes: x.Bytes()}
+}
+
+// ---------------------------------------------------------------------------
+
+// JPEG is the transform-coding method: JPEG-BASE or JPEG-ACT depending on
+// the pipeline configuration, with the Table II policy for non-conv kinds
+// and a piece-wise DQT schedule.
+type JPEG struct {
+	MethodName string
+	Schedule   quant.Schedule
+	Act        bool    // true = JPEG-ACT back end (SH+ZVC), false = JPEG-BASE (DIV+RLE)
+	S          float64 // SFPR global scale; zero means DefaultS
+}
+
+// NewJPEGBase builds the JPEG-BASE method with a fixed image DQT.
+func NewJPEGBase(d quant.DQT) *JPEG {
+	return &JPEG{MethodName: "JPEG-BASE/" + d.Name, Schedule: quant.Fixed(d), Act: false}
+}
+
+// NewJPEGAct builds the JPEG-ACT method with the given DQT schedule.
+func NewJPEGAct(s quant.Schedule) *JPEG {
+	return &JPEG{MethodName: "JPEG-ACT/" + s.Name, Schedule: s, Act: true}
+}
+
+func (j *JPEG) Name() string   { return j.MethodName }
+func (j *JPEG) Lossless() bool { return false }
+
+// jpegApplicable reports whether the 8×8 transform applies: the reshaped
+// activation must be at least one block in both dimensions (NCH,W ≥ 8,8).
+func jpegApplicable(sh tensor.Shape) bool {
+	return sh.N*sh.C*sh.H >= 8 && sh.W >= 8
+}
+
+func (j *JPEG) pipeline(epoch int) Pipeline {
+	d := *j.Schedule.For(epoch)
+	p := Pipeline{DQT: d, UseShift: j.Act, UseZVC: j.Act, S: j.S}
+	return p
+}
+
+func (j *JPEG) Compress(x *tensor.Tensor, kind Kind, epoch int) Result {
+	orig := x.Bytes()
+	s := j.S
+	if s == 0 {
+		s = sfpr.DefaultS
+	}
+	switch kind {
+	case KindReLUToOther:
+		mask, err := coding.DecodeBRC(coding.EncodeBRC(x.Data), x.Elems())
+		if err != nil {
+			panic("compress: BRC roundtrip failed")
+		}
+		return Result{Mask: mask, CompressedBytes: (x.Elems() + 7) / 8, OriginalBytes: orig}
+	case KindReLUToConv, KindPoolDropout:
+		c := sfpr.Compress(x, s)
+		bytes := len(c.Values) + 4*len(c.Scales)
+		if j.Act {
+			// JPEG-ACT adds ZVC after SFPR for sparse kinds (Table II).
+			bytes = coding.ZVCSize(c.Values) + 4*len(c.Scales)
+		}
+		return Result{Recovered: sfpr.Decompress(c), CompressedBytes: bytes, OriginalBytes: orig}
+	default:
+		if !jpegApplicable(x.Shape) {
+			rec, bytes := sfpr.Roundtrip(x, s)
+			return Result{Recovered: rec, CompressedBytes: bytes, OriginalBytes: orig}
+		}
+		p := j.pipeline(epoch)
+		rec, bytes := p.Roundtrip(x)
+		return Result{Recovered: rec, CompressedBytes: bytes, OriginalBytes: orig}
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// Standard returns the methods of Table I in paper order: baseline,
+// cDMA+, GIST, SFPR, JPEG-BASE (jpeg80, jpeg60), JPEG-ACT (optL, optH,
+// optL5H).
+func Standard() []Method {
+	return []Method{
+		Baseline{},
+		CDMAPlus{},
+		GIST{},
+		SFPROnly{},
+		NewJPEGBase(quant.JPEGQuality(80)),
+		NewJPEGBase(quant.JPEGQuality(60)),
+		NewJPEGAct(quant.Fixed(quant.OptL())),
+		NewJPEGAct(quant.Fixed(quant.OptH())),
+		NewJPEGAct(quant.OptL5H()),
+	}
+}
+
+// PolicyFor returns the Table II policy description for a method name and
+// activation kind; it documents which coder the method applies where.
+func PolicyFor(m Method, k Kind) string {
+	switch m.(type) {
+	case Baseline:
+		return "none"
+	case CDMAPlus:
+		if k == KindConv {
+			return "none"
+		}
+		return "ZVC"
+	case GIST:
+		switch k {
+		case KindConv:
+			return "DPR"
+		case KindReLUToOther:
+			return "BRC"
+		default:
+			return "DPR+CSR"
+		}
+	case SFPROnly:
+		return "SFPR"
+	case *JPEG:
+		j := m.(*JPEG)
+		switch k {
+		case KindConv:
+			if j.Act {
+				return "SFPR+DCT+SH+ZVC"
+			}
+			return "SFPR+DCT+DIV+RLE"
+		case KindReLUToOther:
+			return "BRC"
+		default:
+			if j.Act {
+				return "SFPR+ZVC"
+			}
+			return "SFPR"
+		}
+	case *HardwareJPEGACT:
+		switch k {
+		case KindConv:
+			return "CDU(SFPR+DCT+SH+ZVC)"
+		case KindReLUToOther:
+			return "BRC"
+		default:
+			return "SFPR+ZVC"
+		}
+	case BFPMethod:
+		return "BFP"
+	}
+	return "unknown"
+}

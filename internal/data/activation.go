@@ -1,0 +1,54 @@
+package data
+
+import (
+	"jpegact/internal/dct"
+	"jpegact/internal/tensor"
+)
+
+// ActivationLike generates a plane whose DCT statistics match what the
+// paper measures for dense CNN activations (Fig. 2): a flat frequency
+// profile with non-zero energy scattered across mid and high frequencies,
+// rather than the steeply falling spectrum of natural images. It samples
+// coefficients directly in the frequency domain per 8×8 block — each
+// frequency is non-zero with probability density and Laplacian-ish
+// amplitude amp — and inverse-transforms to the spatial domain.
+//
+// h and w must be multiples of 8.
+func ActivationLike(r *tensor.RNG, h, w int, density, amp float64) []float32 {
+	if h%8 != 0 || w%8 != 0 {
+		panic("data: ActivationLike requires h, w multiples of 8")
+	}
+	plane := make([]float32, h*w)
+	var blk dct.Block
+	for by := 0; by < h/8; by++ {
+		for bx := 0; bx < w/8; bx++ {
+			for i := 0; i < 64; i++ {
+				blk[i] = 0
+				if r.Float64() < density {
+					// Gaussian amplitudes: post-batch-norm conv outputs are
+					// close to Gaussian, so their DCT coefficients are too.
+					blk[i] = float32(amp * r.Norm())
+				}
+			}
+			// Give DC extra weight so the block has a plausible mean.
+			blk[0] = float32(amp * r.Norm() * 3)
+			dct.Inverse8x8(&blk)
+			for rr := 0; rr < 8; rr++ {
+				for cc := 0; cc < 8; cc++ {
+					plane[(by*8+rr)*w+bx*8+cc] = blk[rr*8+cc]
+				}
+			}
+		}
+	}
+	return plane
+}
+
+// ActivationTensor fills an NCHW tensor with ActivationLike planes.
+func ActivationTensor(r *tensor.RNG, n, c, h, w int, density, amp float64) *tensor.Tensor {
+	x := tensor.New(n, c, h, w)
+	plane := h * w
+	for i := 0; i < n*c; i++ {
+		copy(x.Data[i*plane:(i+1)*plane], ActivationLike(r, h, w, density, amp))
+	}
+	return x
+}

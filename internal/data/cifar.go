@@ -1,0 +1,110 @@
+package data
+
+import (
+	"errors"
+	"io"
+
+	"jpegact/internal/tensor"
+)
+
+// CIFAR-10 binary on-disk format support: one record per image, a label
+// byte followed by 3072 channel-major pixel bytes (3×32×32). The offline
+// reproduction cannot download the real dataset, but it can write its
+// synthetic images in the real format — so downstream tooling that
+// expects data_batch_*.bin files works unchanged, and a user with the
+// real dataset can load it straight into the training substrate.
+
+// ErrBadCIFAR is returned for malformed record streams.
+var ErrBadCIFAR = errors.New("data: bad CIFAR record stream")
+
+const (
+	cifarChannels = 3
+	cifarEdge     = 32
+	cifarRecord   = 1 + cifarChannels*cifarEdge*cifarEdge
+)
+
+// pixelScale maps roughly ±3σ of the unit-variance synthetic images onto
+// the byte range; the inverse restores zero-mean unit-ish floats.
+const pixelScale = 42.0
+
+func floatToPixel(v float32) byte {
+	f := float64(v)*pixelScale + 128
+	if f < 0 {
+		f = 0
+	}
+	if f > 255 {
+		f = 255
+	}
+	return byte(f + 0.5)
+}
+
+func pixelToFloat(b byte) float32 {
+	return float32((float64(b) - 128) / pixelScale)
+}
+
+// SaveCIFAR writes images (N,3,32,32) and labels as CIFAR-10 binary
+// records.
+func SaveCIFAR(w io.Writer, images *tensor.Tensor, labels []int) error {
+	sh := images.Shape
+	if sh.C != cifarChannels || sh.H != cifarEdge || sh.W != cifarEdge {
+		return ErrBadCIFAR
+	}
+	if len(labels) != sh.N {
+		return ErrBadCIFAR
+	}
+	rec := make([]byte, cifarRecord)
+	plane := cifarEdge * cifarEdge
+	for n := 0; n < sh.N; n++ {
+		if labels[n] < 0 || labels[n] > 255 {
+			return ErrBadCIFAR
+		}
+		rec[0] = byte(labels[n])
+		for c := 0; c < cifarChannels; c++ {
+			base := (n*cifarChannels + c) * plane
+			for i := 0; i < plane; i++ {
+				rec[1+c*plane+i] = floatToPixel(images.Data[base+i])
+			}
+		}
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCIFAR reads all records from r, returning images and labels.
+func LoadCIFAR(r io.Reader) (*tensor.Tensor, []int, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(raw) == 0 || len(raw)%cifarRecord != 0 {
+		return nil, nil, ErrBadCIFAR
+	}
+	n := len(raw) / cifarRecord
+	images := tensor.New(n, cifarChannels, cifarEdge, cifarEdge)
+	labels := make([]int, n)
+	plane := cifarEdge * cifarEdge
+	for i := 0; i < n; i++ {
+		rec := raw[i*cifarRecord : (i+1)*cifarRecord]
+		labels[i] = int(rec[0])
+		for c := 0; c < cifarChannels; c++ {
+			base := (i*cifarChannels + c) * plane
+			for p := 0; p < plane; p++ {
+				images.Data[base+p] = pixelToFloat(rec[1+c*plane+p])
+			}
+		}
+	}
+	return images, labels, nil
+}
+
+// WriteSyntheticCIFAR generates n CIFAR-sized synthetic samples from the
+// classification generator and writes them in the binary format — a
+// drop-in data_batch file for offline pipelines.
+func WriteSyntheticCIFAR(w io.Writer, n int, classes int, seed uint64) error {
+	gen := NewClassification(ClassificationConfig{
+		Classes: classes, Channels: cifarChannels, H: cifarEdge, W: cifarEdge, Seed: seed,
+	})
+	images, labels := gen.Batch(n)
+	return SaveCIFAR(w, images, labels)
+}

@@ -1,0 +1,95 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"jpegact/internal/tensor"
+)
+
+func TestCIFARRoundtrip(t *testing.T) {
+	gen := NewClassification(ClassificationConfig{Classes: 10, Channels: 3, H: 32, W: 32, Seed: 1})
+	images, labels := gen.Batch(20)
+	var buf bytes.Buffer
+	if err := SaveCIFAR(&buf, images, labels); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 20*3073 {
+		t.Fatalf("stream length %d, want %d (CIFAR record format)", buf.Len(), 20*3073)
+	}
+	back, backLabels, err := LoadCIFAR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shape != images.Shape {
+		t.Fatalf("shape %v", back.Shape)
+	}
+	for i := range labels {
+		if backLabels[i] != labels[i] {
+			t.Fatalf("label %d: %d vs %d", i, backLabels[i], labels[i])
+		}
+	}
+	// Pixel quantization bounds the value error to half a pixel step.
+	maxErr := 0.0
+	for i := range images.Data {
+		if d := math.Abs(float64(back.Data[i] - images.Data[i])); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 0.5/42+1e-6 {
+		// Values beyond ±3σ clip; allow those but they must be rare.
+		clipped := 0
+		for i := range images.Data {
+			if math.Abs(float64(back.Data[i]-images.Data[i])) > 0.5/42+1e-6 {
+				clipped++
+			}
+		}
+		if frac := float64(clipped) / float64(len(images.Data)); frac > 0.05 {
+			t.Fatalf("%.1f%% of pixels clipped", frac*100)
+		}
+	}
+}
+
+func TestCIFARRejectsBadInputs(t *testing.T) {
+	x := tensor.New(1, 1, 32, 32) // wrong channels
+	var buf bytes.Buffer
+	if err := SaveCIFAR(&buf, x, []int{0}); err != ErrBadCIFAR {
+		t.Fatalf("want ErrBadCIFAR, got %v", err)
+	}
+	ok := tensor.New(1, 3, 32, 32)
+	if err := SaveCIFAR(&buf, ok, []int{}); err != ErrBadCIFAR {
+		t.Fatal("label count mismatch accepted")
+	}
+	if err := SaveCIFAR(&buf, ok, []int{999}); err != ErrBadCIFAR {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, _, err := LoadCIFAR(bytes.NewReader([]byte{1, 2, 3})); err != ErrBadCIFAR {
+		t.Fatal("partial record accepted")
+	}
+	if _, _, err := LoadCIFAR(bytes.NewReader(nil)); err != ErrBadCIFAR {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestWriteSyntheticCIFAR(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSyntheticCIFAR(&buf, 10, 10, 7); err != nil {
+		t.Fatal(err)
+	}
+	images, labels, err := LoadCIFAR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if images.Shape.N != 10 || len(labels) != 10 {
+		t.Fatalf("loaded %v / %d labels", images.Shape, len(labels))
+	}
+	// Labels must cover multiple classes (the generator cycles).
+	seen := map[int]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("labels cover only %d classes", len(seen))
+	}
+}

@@ -1,0 +1,152 @@
+package dqtopt
+
+import (
+	"testing"
+
+	"jpegact/internal/data"
+	"jpegact/internal/quant"
+	"jpegact/internal/tensor"
+)
+
+func samples(seed uint64, n int) []*tensor.Tensor {
+	r := tensor.NewRNG(seed)
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		out[i] = data.ActivationTensor(r, 1, 4, 16, 16, 0.5, 1.0)
+	}
+	return out
+}
+
+func TestEvaluateMonotoneInQuantization(t *testing.T) {
+	s := samples(1, 3)
+	weak := Evaluate(quant.Uniform("weak", 8, 2), s, 0.01, 1.125)
+	strong := Evaluate(quant.Uniform("strong", 8, 64), s, 0.01, 1.125)
+	if strong.Entropy >= weak.Entropy {
+		t.Fatalf("stronger quantization must lower entropy: %v vs %v", strong.Entropy, weak.Entropy)
+	}
+	if strong.L2 <= weak.L2 {
+		t.Fatalf("stronger quantization must raise error: %v vs %v", strong.L2, weak.L2)
+	}
+}
+
+func TestObjectiveWeighting(t *testing.T) {
+	s := samples(2, 2)
+	d := quant.Uniform("d", 8, 16)
+	lowAlpha := Evaluate(d, s, 0.001, 1.125)
+	highAlpha := Evaluate(d, s, 0.1, 1.125)
+	// Same table, same (H, L2); only the mixing changes.
+	if lowAlpha.Entropy != highAlpha.Entropy || lowAlpha.L2 != highAlpha.L2 {
+		t.Fatal("alpha must not change measurements")
+	}
+	wantLow := (1-0.001)*Lambda1*lowAlpha.Entropy + 0.001*Lambda2*lowAlpha.L2
+	if lowAlpha.O != wantLow {
+		t.Fatalf("objective %v, want %v", lowAlpha.O, wantLow)
+	}
+}
+
+func TestOptimizeImprovesObjective(t *testing.T) {
+	s := samples(3, 2)
+	seed := quant.Uniform("seed", 8, 16)
+	res := Optimize(seed, s, Config{Alpha: 0.01, Iters: 4, Grouped: true})
+	first := res.Trace[0].O
+	last := res.Trace[len(res.Trace)-1].O
+	if last >= first {
+		t.Fatalf("objective did not improve: %v -> %v", first, last)
+	}
+	if res.DQT.Entries[0] != 8 {
+		t.Fatal("DC entry must stay pinned to 8")
+	}
+	for i, v := range res.DQT.Entries {
+		if v < 1 || v > 255 {
+			t.Fatalf("entry %d out of range: %v", i, v)
+		}
+	}
+}
+
+func TestAlphaControlsRateDistortion(t *testing.T) {
+	// Higher α (more weight on L2) must land at lower error and higher
+	// entropy than lower α — the optL vs optH relationship.
+	s := samples(4, 2)
+	seed := quant.Uniform("seed", 8, 16)
+	lo := Optimize(seed, s, Config{Alpha: 0.002, Iters: 6, Grouped: true})
+	hi := Optimize(seed, s, Config{Alpha: 0.05, Iters: 6, Grouped: true})
+	pl := lo.Trace[len(lo.Trace)-1]
+	ph := hi.Trace[len(hi.Trace)-1]
+	if ph.L2 >= pl.L2 {
+		t.Fatalf("high-alpha error %v must be below low-alpha %v", ph.L2, pl.L2)
+	}
+	if ph.Entropy <= pl.Entropy {
+		t.Fatalf("high-alpha entropy %v must exceed low-alpha %v", ph.Entropy, pl.Entropy)
+	}
+}
+
+func TestEntryGroups(t *testing.T) {
+	full := entryGroups(false)
+	if len(full) != 63 {
+		t.Fatalf("full groups %d", len(full))
+	}
+	grouped := entryGroups(true)
+	if len(grouped) != 14 { // diagonal 0 holds only the pinned DC
+		t.Fatalf("diagonal groups %d", len(grouped))
+	}
+	seen := map[int]bool{}
+	for _, g := range grouped {
+		for _, i := range g {
+			if i == 0 || seen[i] {
+				t.Fatalf("bad group entry %d", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 63 {
+		t.Fatalf("groups cover %d entries", len(seen))
+	}
+}
+
+func TestRateDistortionCurve(t *testing.T) {
+	s := samples(5, 2)
+	pts := RateDistortion(s,
+		[]quant.DQT{quant.JPEGQuality(80), quant.JPEGQuality(60)},
+		[]uint{2, 3, 4}, 1.125)
+	if len(pts) != 5 {
+		t.Fatalf("points %d", len(pts))
+	}
+	byName := map[string]RDPoint{}
+	for _, p := range pts {
+		byName[p.Name] = p
+	}
+	// jpeg60 compresses more (lower entropy, higher error) than jpeg80.
+	if byName["jpeg60"].Entropy >= byName["jpeg80"].Entropy {
+		t.Fatal("jpeg60 must have lower entropy than jpeg80")
+	}
+	if byName["jpeg60"].L2 <= byName["jpeg80"].L2 {
+		t.Fatal("jpeg60 must have higher error than jpeg80")
+	}
+	// SFPR bit sweep: fewer bits = lower entropy, higher error.
+	if byName["SFPR-2bit"].Entropy >= byName["SFPR-4bit"].Entropy {
+		t.Fatal("SFPR-2bit must have lower entropy")
+	}
+	if byName["SFPR-2bit"].L2 <= byName["SFPR-4bit"].L2 {
+		t.Fatal("SFPR-2bit must have higher error")
+	}
+	// Transform coding dominates plain precision reduction at similar
+	// error: jpeg80's entropy should be well below 4-bit SFPR's at a
+	// comparable or lower error — the Fig. 16 takeaway.
+	if byName["jpeg80"].Entropy >= byName["SFPR-4bit"].Entropy {
+		t.Fatal("jpeg80 should code below SFPR-4bit entropy")
+	}
+}
+
+func TestOptimizedBeatsImageTableAtSameError(t *testing.T) {
+	// The §IV result: optimizing for activations yields lower entropy at
+	// similar error than an image DQT. Optimize from the jpeg80 seed and
+	// compare the final objective against the seed's.
+	s := samples(6, 3)
+	seed := quant.JPEGQuality(80)
+	res := Optimize(seed, s, Config{Alpha: 0.005, Iters: 6, Grouped: true})
+	seedPt := Evaluate(seed, s, 0.005, 1.125)
+	optPt := res.Trace[len(res.Trace)-1]
+	if optPt.O >= seedPt.O {
+		t.Fatalf("optimization failed to beat the image table: %v vs %v", optPt.O, seedPt.O)
+	}
+}

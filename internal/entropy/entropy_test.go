@@ -1,0 +1,108 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+
+	"jpegact/internal/data"
+	"jpegact/internal/tensor"
+)
+
+func TestShannonBasics(t *testing.T) {
+	if got := Shannon(nil); got != 0 {
+		t.Fatalf("empty entropy %v", got)
+	}
+	if got := Shannon(make([]int8, 100)); got != 0 {
+		t.Fatalf("constant entropy %v", got)
+	}
+	// Two equiprobable symbols -> 1 bit.
+	vals := make([]int8, 100)
+	for i := 50; i < 100; i++ {
+		vals[i] = 1
+	}
+	if got := Shannon(vals); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("two-symbol entropy %v", got)
+	}
+}
+
+func TestShannonUniformMax(t *testing.T) {
+	// All 256 symbols equiprobable -> exactly 8 bits.
+	vals := make([]int8, 256)
+	for i := range vals {
+		vals[i] = int8(i - 128)
+	}
+	if got := Shannon(vals); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("uniform entropy %v, want 8", got)
+	}
+}
+
+func TestShannonIntsMatchesShannon(t *testing.T) {
+	vals8 := []int8{0, 0, 1, 2, 2, 2, -5, 7}
+	valsI := make([]int, len(vals8))
+	for i, v := range vals8 {
+		valsI[i] = int(v)
+	}
+	if a, b := Shannon(vals8), ShannonInts(valsI); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("%v vs %v", a, b)
+	}
+}
+
+func TestAnalyzeCorrelatedDataGainsFromDCT(t *testing.T) {
+	// The Fig. 2/6 insight: spatially correlated activations have lower
+	// frequency entropy than spatial entropy; white noise does not.
+	r := tensor.NewRNG(1)
+	smooth := tensor.New(2, 2, 32, 32)
+	for n := 0; n < 2; n++ {
+		for c := 0; c < 2; c++ {
+			copy(smooth.Data[(n*2+c)*1024:(n*2+c+1)*1024], data.Texture(r, 32, 32, 6))
+		}
+	}
+	white := tensor.New(2, 2, 32, 32)
+	white.FillNormal(r, 0, 1)
+
+	as := Analyze(smooth, 1.0)
+	aw := Analyze(white, 1.0)
+	if as.Gain() < 1.0 {
+		t.Fatalf("correlated data gain %v bits, want >= 1", as.Gain())
+	}
+	if aw.Gain() > 0.5 {
+		t.Fatalf("white noise gain %v bits, should be ~0", aw.Gain())
+	}
+	if as.Gain() <= aw.Gain() {
+		t.Fatalf("correlated gain %v must exceed white-noise gain %v", as.Gain(), aw.Gain())
+	}
+}
+
+func TestAnalyzePerFrequencyShape(t *testing.T) {
+	// For correlated data, low-frequency coefficients carry more entropy
+	// than high-frequency ones (energy compaction toward DC).
+	r := tensor.NewRNG(2)
+	x := tensor.New(1, 4, 32, 32)
+	for c := 0; c < 4; c++ {
+		copy(x.Data[c*1024:(c+1)*1024], data.Texture(r, 32, 32, 6))
+	}
+	a := Analyze(x, 1.0)
+	low := (a.PerFrequency[1] + a.PerFrequency[8] + a.PerFrequency[9]) / 3
+	high := (a.PerFrequency[63] + a.PerFrequency[62] + a.PerFrequency[55]) / 3
+	if low <= high {
+		t.Fatalf("low-freq entropy %v should exceed high-freq %v", low, high)
+	}
+}
+
+func TestAnalyzeSparseDataDoesNotGain(t *testing.T) {
+	// The paper does not observe the frequency-domain advantage for
+	// sparse (ReLU) activations: zeroing most values destroys the smooth
+	// structure the DCT exploits.
+	r := tensor.NewRNG(3)
+	x := tensor.New(1, 2, 32, 32)
+	x.FillNormal(r, 0, 1)
+	for i := range x.Data {
+		if i%2 == 0 || x.Data[i] < 0 {
+			x.Data[i] = 0
+		}
+	}
+	a := Analyze(x, 1.0)
+	if a.Gain() > 0.3 {
+		t.Fatalf("sparse data gain %v, expected none", a.Gain())
+	}
+}

@@ -1,0 +1,125 @@
+package gpusim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schedule tracing: the same two-stream model as Simulate, but recording
+// every kernel and offload interval so the Fig. 1a schedule pictures can
+// be rendered (compute stream c, memcpy stream m, with the arrows from
+// each kernel to its activation offload).
+
+// StreamID distinguishes the two GPU streams of Fig. 1a.
+type StreamID int
+
+const (
+	// StreamCompute is the kernel stream.
+	StreamCompute StreamID = iota
+	// StreamMemcpy is the DMA/offload stream.
+	StreamMemcpy
+)
+
+// Event is one interval on a stream.
+type Event struct {
+	Stream StreamID
+	Name   string
+	Start  float64
+	End    float64
+}
+
+// Trace is the recorded forward-pass schedule.
+type Trace struct {
+	Scheme   string
+	Events   []Event
+	Makespan float64
+}
+
+// TraceForward records the forward-pass schedule of w under s.
+func TraceForward(w Workload, s Scheme, cfg Config) Trace {
+	hbm := cfg.HBMBandwidthGBs * 1e9 * 0.8
+	tr := Trace{Scheme: s.Name}
+	var tCompute, offEnd float64
+	for _, l := range w.Layers {
+		dur := cfg.ComputeSeconds(l.FLOPs, l.MemBytes, l.Class)
+		tr.Events = append(tr.Events, Event{StreamCompute, l.Name, tCompute, tCompute + dur})
+		tCompute += dur
+		if l.ActBytes <= 0 {
+			continue
+		}
+		if passes := s.CompressPasses(l.Kind); passes > 0 {
+			cdur := passes * l.ActBytes / hbm
+			tr.Events = append(tr.Events, Event{StreamCompute, l.Name + ".compress", tCompute, tCompute + cdur})
+			tCompute += cdur
+		}
+		if s.Offload {
+			start := tCompute
+			if offEnd > start {
+				start = offEnd
+			}
+			offEnd = start + l.ActBytes/effRate(cfg, s, l.Kind)
+			tr.Events = append(tr.Events, Event{StreamMemcpy, l.Name + ".offload", start, offEnd})
+		}
+	}
+	tr.Makespan = tCompute
+	if offEnd > tr.Makespan {
+		tr.Makespan = offEnd
+	}
+	return tr
+}
+
+// Render draws the trace as a two-row ASCII Gantt chart of the given
+// width, the textual equivalent of Fig. 1a: '#' marks compute kernels,
+// '=' marks offloads, '.' marks idle time.
+func (t Trace) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	rows := map[StreamID][]byte{
+		StreamCompute: bytesOf('.', width),
+		StreamMemcpy:  bytesOf('.', width),
+	}
+	mark := map[StreamID]byte{StreamCompute: '#', StreamMemcpy: '='}
+	for _, e := range t.Events {
+		a := int(e.Start / t.Makespan * float64(width))
+		b := int(e.End / t.Makespan * float64(width))
+		if b <= a {
+			b = a + 1
+		}
+		if b > width {
+			b = width
+		}
+		for i := a; i < b; i++ {
+			rows[e.Stream][i] = mark[e.Stream]
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s c %s\n", t.Scheme, rows[StreamCompute])
+	fmt.Fprintf(&sb, "%-10s m %s\n", "", rows[StreamMemcpy])
+	return sb.String()
+}
+
+func bytesOf(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// Utilization returns the busy fraction of each stream over the makespan.
+func (t Trace) Utilization() (compute, memcpy float64) {
+	var c, m float64
+	for _, e := range t.Events {
+		d := e.End - e.Start
+		if e.Stream == StreamCompute {
+			c += d
+		} else {
+			m += d
+		}
+	}
+	if t.Makespan == 0 {
+		return 0, 0
+	}
+	return c / t.Makespan, m / t.Makespan
+}

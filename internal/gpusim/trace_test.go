@@ -1,0 +1,74 @@
+package gpusim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceMatchesSimulate(t *testing.T) {
+	cfg := TitanV(4)
+	for _, s := range []Scheme{VDNN(), CDMAPlus(), GIST(), JPEGAct(JPEGActDefaultRatios())} {
+		w := findWorkload(t, "ResNet50")
+		tr := TraceForward(w, s, cfg)
+		base := Simulate(w, s, cfg)
+		if d := tr.Makespan - base.Forward; d < -1e-12 || d > 1e-12 {
+			t.Fatalf("%s: trace makespan %v vs simulate %v", s.Name, tr.Makespan, base.Forward)
+		}
+	}
+}
+
+func TestTraceEventsWellFormed(t *testing.T) {
+	cfg := TitanV(4)
+	w := findWorkload(t, "VGG")
+	tr := TraceForward(w, JPEGAct(JPEGActDefaultRatios()), cfg)
+	if len(tr.Events) == 0 {
+		t.Fatal("no events")
+	}
+	var lastByStream [2]float64
+	for _, e := range tr.Events {
+		if e.End <= e.Start {
+			t.Fatalf("empty event %+v", e)
+		}
+		if e.Start < lastByStream[e.Stream]-1e-15 {
+			t.Fatalf("stream %d events overlap at %v", e.Stream, e.Start)
+		}
+		lastByStream[e.Stream] = e.End
+	}
+}
+
+func TestTraceUtilizationShapes(t *testing.T) {
+	cfg := TitanV(4)
+	w := findWorkload(t, "ResNet50/IN")
+	// vDNN: memcpy stream nearly saturated, compute mostly idle.
+	cu, mu := TraceForward(w, VDNN(), cfg).Utilization()
+	if mu < 0.9 || cu > 0.6 {
+		t.Fatalf("vDNN utils compute %v memcpy %v", cu, mu)
+	}
+	// GIST: no memcpy at all.
+	_, mg := TraceForward(w, GIST(), cfg).Utilization()
+	if mg != 0 {
+		t.Fatalf("GIST memcpy util %v", mg)
+	}
+	// JPEG-ACT: compute-dominated.
+	ca, _ := TraceForward(w, JPEGAct(JPEGActDefaultRatios()), cfg).Utilization()
+	if ca < 0.7 {
+		t.Fatalf("JPEG-ACT compute util %v", ca)
+	}
+}
+
+func TestTraceRender(t *testing.T) {
+	cfg := TitanV(4)
+	w := findWorkload(t, "VGG")
+	out := TraceForward(w, VDNN(), cfg).Render(40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("render lines %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "#") || !strings.Contains(lines[1], "=") {
+		t.Fatalf("render missing marks:\n%s", out)
+	}
+	// Tiny width clamps.
+	if TraceForward(w, VDNN(), cfg).Render(1) == "" {
+		t.Fatal("render with tiny width failed")
+	}
+}

@@ -1,0 +1,127 @@
+package hw
+
+import "testing"
+
+// paper holds the Table IV reference values for band checks.
+var paperTableIV = map[string]struct{ area, power float64 }{
+	"SFPR":               {44924, 34.3},
+	"DCT+iDCT":           {229118, 273.4},
+	"Quantize (DIV)":     {12507, 14.4},
+	"Quantize (SH)":      {1593, 2.5},
+	"Coding (RLE+RLD)":   {125890, 176.0},
+	"Coding (ZVC+ZVD)":   {21519, 17.1},
+	"Collector+Splitter": {173445, 170.3},
+}
+
+func TestTableIVWithinBands(t *testing.T) {
+	for _, c := range TableIV() {
+		ref, ok := paperTableIV[c.Name]
+		if !ok {
+			t.Fatalf("unexpected component %q", c.Name)
+		}
+		if c.AreaUM2 < ref.area*0.5 || c.AreaUM2 > ref.area*2.0 {
+			t.Fatalf("%s area %v outside 2x band of %v", c.Name, c.AreaUM2, ref.area)
+		}
+		if c.PowerMW < ref.power*0.5 || c.PowerMW > ref.power*2.0 {
+			t.Fatalf("%s power %v outside 2x band of %v", c.Name, c.PowerMW, ref.power)
+		}
+	}
+}
+
+func TestDCTDominates(t *testing.T) {
+	comps := TableIV()
+	dct := comps[1]
+	for _, c := range comps {
+		if c.Name == dct.Name {
+			continue
+		}
+		if c.AreaUM2 >= dct.AreaUM2 {
+			t.Fatalf("%s area %v exceeds DCT %v", c.Name, c.AreaUM2, dct.AreaUM2)
+		}
+	}
+}
+
+func TestSHIsMuchSmallerThanDIV(t *testing.T) {
+	div, sh := DIVUnit(), SHUnit()
+	// Paper: SH reduces the quantizer area by 88%.
+	if sh.AreaUM2 > div.AreaUM2*0.2 {
+		t.Fatalf("SH area %v not ≲ 12%% of DIV %v", sh.AreaUM2, div.AreaUM2)
+	}
+	if sh.PowerMW >= div.PowerMW {
+		t.Fatal("SH power must be below DIV")
+	}
+}
+
+func TestZVCIsMuchSmallerThanRLE(t *testing.T) {
+	rle, zvc := RLEUnit(), ZVCUnit()
+	if zvc.AreaUM2 > rle.AreaUM2*0.35 {
+		t.Fatalf("ZVC area %v not far below RLE %v", zvc.AreaUM2, rle.AreaUM2)
+	}
+	if zvc.PowerMW > rle.PowerMW*0.35 {
+		t.Fatalf("ZVC power %v not far below RLE %v", zvc.PowerMW, rle.PowerMW)
+	}
+}
+
+func TestTableVShape(t *testing.T) {
+	ds := TableV()
+	if len(ds) != 4 {
+		t.Fatalf("designs %d", len(ds))
+	}
+	byName := map[string]Design{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	base := byName["JPEG-BASE (jpeg80)"]
+	act := byName["JPEG-ACT (optL5H)"]
+	// The CNN back-end modifications shrink area (paper: 1.3×) and power
+	// (paper: 1.5×) while raising offload bandwidth.
+	if r := base.AreaMM2 / act.AreaMM2; r < 1.1 || r > 2.0 {
+		t.Fatalf("area reduction %v outside band", r)
+	}
+	if r := base.PowerW / act.PowerW; r < 1.1 || r > 2.2 {
+		t.Fatalf("power reduction %v outside band", r)
+	}
+	if act.OffloadGBs <= base.OffloadGBs {
+		t.Fatal("JPEG-ACT must offload faster")
+	}
+	// Compression ordering.
+	if !(byName["cDMA+"].Compression < byName["SFPR"].Compression &&
+		byName["SFPR"].Compression < base.Compression &&
+		base.Compression < act.Compression) {
+		t.Fatal("compression ordering broken")
+	}
+	// cDMA+ and SFPR are far cheaper than the JPEG designs.
+	if byName["cDMA+"].AreaMM2 > 0.6 || byName["SFPR"].AreaMM2 > 0.6 {
+		t.Fatalf("light designs too big: %v %v", byName["cDMA+"].AreaMM2, byName["SFPR"].AreaMM2)
+	}
+}
+
+func TestTableVWithinBands(t *testing.T) {
+	ref := map[string]struct{ power, area float64 }{
+		"cDMA+":              {0.26, 0.35},
+		"SFPR":               {0.35, 0.31},
+		"JPEG-BASE (jpeg80)": {1.82, 2.16},
+		"JPEG-ACT (optL5H)":  {1.36, 1.48},
+	}
+	for _, d := range TableV() {
+		r := ref[d.Name]
+		if d.AreaMM2 < r.area*0.4 || d.AreaMM2 > r.area*2.5 {
+			t.Fatalf("%s area %v outside band of %v", d.Name, d.AreaMM2, r.area)
+		}
+		if d.PowerW < r.power*0.4 || d.PowerW > r.power*2.5 {
+			t.Fatalf("%s power %v outside band of %v", d.Name, d.PowerW, r.power)
+		}
+	}
+}
+
+func TestUnderOnePercentOfGPU(t *testing.T) {
+	for _, d := range TableV() {
+		a, p := d.GPUFraction()
+		if a >= 0.01 {
+			t.Fatalf("%s area fraction %v >= 1%%", d.Name, a)
+		}
+		if p >= 0.01 {
+			t.Fatalf("%s power fraction %v >= 1%%", d.Name, p)
+		}
+	}
+}

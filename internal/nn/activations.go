@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"jpegact/internal/compress"
+	"jpegact/internal/tensor"
+)
+
+// ReLU is the rectified linear unit. It saves its *output* ref (the
+// framework convention of §II-A: (r > 0) = (x > 0), so the output works
+// for the backward mask, and the same tensor doubles as the next layer's
+// input). If the compression hook replaced the ref with a BRC mask, the
+// backward pass uses the mask directly (Eqn. 3).
+type ReLU struct {
+	LayerName string
+	out       *ActRef
+}
+
+// NewReLU builds a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{LayerName: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.LayerName }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// SavedRefs implements Layer.
+func (r *ReLU) SavedRefs() []*ActRef {
+	if r.out == nil {
+		return nil
+	}
+	return []*ActRef{r.out}
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(in *ActRef, train bool) *ActRef {
+	x := in.T
+	out := tensor.NewLike(x)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	// Provisional kind: a consuming conv upgrades this to KindReLUToConv.
+	ref := &ActRef{Name: r.LayerName + ".out", Kind: compress.KindReLUToOther, T: out}
+	if train {
+		r.out = ref
+	}
+	return ref
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := grad.Clone()
+	if r.out.Mask != nil {
+		for i, m := range r.out.Mask {
+			if !m {
+				dx.Data[i] = 0
+			}
+		}
+		return dx
+	}
+	saved := r.out.T
+	for i := range dx.Data {
+		if saved.Data[i] <= 0 {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Dropout zeroes a fraction of activations during training, rescaling the
+// rest by 1/keep. Its output is a sparse activation of kind pool/dropout
+// (Table II). The backward mask is recovered from the saved output's
+// non-zero pattern, so BRC-style compression of the mask is implicit.
+type Dropout struct {
+	LayerName string
+	Rate      float64
+	rng       *tensor.RNG
+	out       *ActRef
+}
+
+// NewDropout builds a dropout layer with the given drop rate.
+func NewDropout(name string, rate float64, rng *tensor.RNG) *Dropout {
+	return &Dropout{LayerName: name, Rate: rate, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.LayerName }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// SavedRefs implements Layer.
+func (d *Dropout) SavedRefs() []*ActRef {
+	if d.out == nil {
+		return nil
+	}
+	return []*ActRef{d.out}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(in *ActRef, train bool) *ActRef {
+	if !train {
+		return in
+	}
+	x := in.T
+	out := tensor.NewLike(x)
+	keep := float32(1 - d.Rate)
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.Rate {
+			out.Data[i] = v / keep
+		}
+	}
+	ref := &ActRef{Name: d.LayerName + ".out", Kind: compress.KindPoolDropout, T: out}
+	d.out = ref
+	return ref
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := grad.Clone()
+	keep := float32(1 - d.Rate)
+	saved := d.out.T
+	for i := range dx.Data {
+		if saved.Data[i] == 0 {
+			dx.Data[i] = 0
+		} else {
+			dx.Data[i] /= keep
+		}
+	}
+	return dx
+}

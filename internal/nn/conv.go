@@ -1,0 +1,229 @@
+package nn
+
+import (
+	"fmt"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/tensor"
+)
+
+// Conv2D is a 2D convolution with square kernels, implemented as im2col
+// followed by GEMM (the same lowering cuDNN's IMPLICIT_GEMM uses). The
+// layer saves its input activation — the "conv input r" of Fig. 3 — and
+// recomputes the im2col lowering from the (possibly lossy) recovered
+// input during backward, so compression error propagates into ∇w exactly
+// as Eqn. 9 describes.
+type Conv2D struct {
+	LayerName   string
+	InC, OutC   int
+	Kernel      int
+	Stride, Pad int
+	Winograd    bool   // use the F(2×2,3×3) fast forward when applicable
+	Weight      *Param // (OutC, InC, K, K)
+	Bias        *Param // (1, OutC, 1, 1); nil when disabled
+	in          *ActRef
+	outShape    tensor.Shape
+	colBuf      []float32
+}
+
+// ConvOpts configures optional conv features.
+type ConvOpts struct {
+	Stride int
+	Pad    int
+	Bias   bool
+	// Winograd selects the F(2×2, 3×3) fast forward path (3×3 stride-1
+	// only; backward always uses the im2col reference).
+	Winograd bool
+}
+
+// NewConv2D builds a conv layer with He initialization.
+func NewConv2D(name string, inC, outC, kernel int, opts ConvOpts, rng *tensor.RNG) *Conv2D {
+	if opts.Stride == 0 {
+		opts.Stride = 1
+	}
+	c := &Conv2D{
+		LayerName: name,
+		InC:       inC,
+		OutC:      outC,
+		Kernel:    kernel,
+		Stride:    opts.Stride,
+		Pad:       opts.Pad,
+		Winograd:  opts.Winograd,
+		Weight:    NewParam(name+".W", outC, inC, kernel, kernel),
+	}
+	c.Weight.W.FillHe(rng, inC*kernel*kernel)
+	if opts.Bias {
+		c.Bias = NewParam(name+".b", 1, outC, 1, 1)
+	}
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.LayerName }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.Bias != nil {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}
+
+// SavedRefs implements Layer.
+func (c *Conv2D) SavedRefs() []*ActRef {
+	if c.in == nil {
+		return nil
+	}
+	return []*ActRef{c.in}
+}
+
+func (c *Conv2D) outDims(in tensor.Shape) (int, int) {
+	ho := (in.H+2*c.Pad-c.Kernel)/c.Stride + 1
+	wo := (in.W+2*c.Pad-c.Kernel)/c.Stride + 1
+	return ho, wo
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(in *ActRef, train bool) *ActRef {
+	x := in.T
+	if x.Shape.C != c.InC {
+		panic(fmt.Sprintf("nn: %s expects %d channels, got %v", c.LayerName, c.InC, x.Shape))
+	}
+	// A conv consumer upgrades a ReLU-produced ref: its values are needed.
+	if in.Kind == compress.KindReLUToOther {
+		in.Kind = compress.KindReLUToConv
+	}
+	if train {
+		c.in = in
+	}
+	ho, wo := c.outDims(x.Shape)
+	c.outShape = tensor.Shape{N: x.Shape.N, C: c.OutC, H: ho, W: wo}
+	if c.Winograd && c.winogradApplicable() {
+		return &ActRef{Name: c.LayerName + ".out", Kind: compress.KindConv, T: c.forwardWinograd(x)}
+	}
+	out := tensor.New(x.Shape.N, c.OutC, ho, wo)
+
+	k2 := c.InC * c.Kernel * c.Kernel
+	spatial := ho * wo
+	if cap(c.colBuf) < k2*spatial {
+		c.colBuf = make([]float32, k2*spatial)
+	}
+	cols := c.colBuf[:k2*spatial]
+	for n := 0; n < x.Shape.N; n++ {
+		c.im2col(x, n, cols)
+		// out[n] (OutC × spatial) = W (OutC × k2) · cols (k2 × spatial)
+		dst := out.Data[n*c.OutC*spatial : (n+1)*c.OutC*spatial]
+		Gemm(c.OutC, k2, spatial, c.Weight.W.Data, cols, dst)
+	}
+	if c.Bias != nil {
+		for n := 0; n < out.Shape.N; n++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.Bias.W.Data[oc]
+				base := (n*c.OutC + oc) * spatial
+				for i := 0; i < spatial; i++ {
+					out.Data[base+i] += b
+				}
+			}
+		}
+	}
+	return &ActRef{Name: c.LayerName + ".out", Kind: compress.KindConv, T: out}
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.in == nil {
+		panic("nn: conv backward before forward")
+	}
+	x := c.in.T
+	if x == nil {
+		panic("nn: conv backward needs saved input values (BRC mask is not enough)")
+	}
+	ho, wo := c.outShape.H, c.outShape.W
+	spatial := ho * wo
+	k2 := c.InC * c.Kernel * c.Kernel
+
+	dx := tensor.NewLike(x)
+	// The Winograd forward skips the im2col buffer; backward always needs it.
+	if cap(c.colBuf) < k2*spatial {
+		c.colBuf = make([]float32, k2*spatial)
+	}
+	cols := c.colBuf[:k2*spatial]
+	dcols := make([]float32, k2*spatial)
+	for n := 0; n < x.Shape.N; n++ {
+		gout := grad.Data[n*c.OutC*spatial : (n+1)*c.OutC*spatial]
+		// ∇W += ∇y[n] · colsᵀ  (OutC×spatial · spatial×k2)
+		c.im2col(x, n, cols)
+		GemmTB(c.OutC, spatial, k2, gout, cols, c.Weight.Grad.Data)
+		// ∇cols = Wᵀ · ∇y[n]  (k2×OutC · OutC×spatial)
+		for i := range dcols {
+			dcols[i] = 0
+		}
+		GemmTA(k2, c.OutC, spatial, c.Weight.W.Data, gout, dcols)
+		c.col2im(dcols, dx, n)
+	}
+	if c.Bias != nil {
+		for n := 0; n < grad.Shape.N; n++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				base := (n*c.OutC + oc) * spatial
+				var sum float32
+				for i := 0; i < spatial; i++ {
+					sum += grad.Data[base+i]
+				}
+				c.Bias.Grad.Data[oc] += sum
+			}
+		}
+	}
+	return dx
+}
+
+// im2col lowers batch element n of x into cols (k2 × ho*wo).
+func (c *Conv2D) im2col(x *tensor.Tensor, n int, cols []float32) {
+	ho, wo := c.outDims(x.Shape)
+	h, w := x.Shape.H, x.Shape.W
+	idx := 0
+	for ic := 0; ic < c.InC; ic++ {
+		chBase := (n*x.Shape.C + ic) * h * w
+		for ky := 0; ky < c.Kernel; ky++ {
+			for kx := 0; kx < c.Kernel; kx++ {
+				for oy := 0; oy < ho; oy++ {
+					iy := oy*c.Stride + ky - c.Pad
+					rowOK := iy >= 0 && iy < h
+					for ox := 0; ox < wo; ox++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if rowOK && ix >= 0 && ix < w {
+							cols[idx] = x.Data[chBase+iy*w+ix]
+						} else {
+							cols[idx] = 0
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatters dcols back into batch element n of dx (accumulating).
+func (c *Conv2D) col2im(dcols []float32, dx *tensor.Tensor, n int) {
+	ho, wo := c.outDims(dx.Shape)
+	h, w := dx.Shape.H, dx.Shape.W
+	idx := 0
+	for ic := 0; ic < c.InC; ic++ {
+		chBase := (n*dx.Shape.C + ic) * h * w
+		for ky := 0; ky < c.Kernel; ky++ {
+			for kx := 0; kx < c.Kernel; kx++ {
+				for oy := 0; oy < ho; oy++ {
+					iy := oy*c.Stride + ky - c.Pad
+					rowOK := iy >= 0 && iy < h
+					for ox := 0; ox < wo; ox++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if rowOK && ix >= 0 && ix < w {
+							dx.Data[chBase+iy*w+ix] += dcols[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/tensor"
+)
+
+// DepthwiseConv2D convolves each channel with its own k×k filter (the
+// depthwise half of the depthwise-separable blocks in MobileNets, which
+// the paper lists among the CNR-block networks its compression applies
+// to). Combined with a 1×1 Conv2D it forms the separable unit.
+type DepthwiseConv2D struct {
+	LayerName   string
+	C           int
+	Kernel      int
+	Stride, Pad int
+	Weight      *Param // (C, 1, K, K)
+	in          *ActRef
+	outShape    tensor.Shape
+}
+
+// NewDepthwiseConv2D builds the layer with He initialization.
+func NewDepthwiseConv2D(name string, c, kernel int, opts ConvOpts, rng *tensor.RNG) *DepthwiseConv2D {
+	if opts.Stride == 0 {
+		opts.Stride = 1
+	}
+	d := &DepthwiseConv2D{
+		LayerName: name,
+		C:         c,
+		Kernel:    kernel,
+		Stride:    opts.Stride,
+		Pad:       opts.Pad,
+		Weight:    NewParam(name+".W", c, 1, kernel, kernel),
+	}
+	d.Weight.W.FillHe(rng, kernel*kernel)
+	return d
+}
+
+// Name implements Layer.
+func (d *DepthwiseConv2D) Name() string { return d.LayerName }
+
+// Params implements Layer.
+func (d *DepthwiseConv2D) Params() []*Param { return []*Param{d.Weight} }
+
+// SavedRefs implements Layer.
+func (d *DepthwiseConv2D) SavedRefs() []*ActRef {
+	if d.in == nil {
+		return nil
+	}
+	return []*ActRef{d.in}
+}
+
+func (d *DepthwiseConv2D) outDims(in tensor.Shape) (int, int) {
+	ho := (in.H+2*d.Pad-d.Kernel)/d.Stride + 1
+	wo := (in.W+2*d.Pad-d.Kernel)/d.Stride + 1
+	return ho, wo
+}
+
+// Forward implements Layer.
+func (d *DepthwiseConv2D) Forward(in *ActRef, train bool) *ActRef {
+	x := in.T
+	if x.Shape.C != d.C {
+		panic(fmt.Sprintf("nn: %s expects %d channels, got %v", d.LayerName, d.C, x.Shape))
+	}
+	if in.Kind == compress.KindReLUToOther {
+		in.Kind = compress.KindReLUToConv
+	}
+	if train {
+		d.in = in
+	}
+	ho, wo := d.outDims(x.Shape)
+	d.outShape = tensor.Shape{N: x.Shape.N, C: d.C, H: ho, W: wo}
+	out := tensor.New(x.Shape.N, d.C, ho, wo)
+	h, w := x.Shape.H, x.Shape.W
+	for n := 0; n < x.Shape.N; n++ {
+		for c := 0; c < d.C; c++ {
+			inBase := (n*d.C + c) * h * w
+			outBase := (n*d.C + c) * ho * wo
+			ker := d.Weight.W.Data[c*d.Kernel*d.Kernel : (c+1)*d.Kernel*d.Kernel]
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					var sum float32
+					for ky := 0; ky < d.Kernel; ky++ {
+						iy := oy*d.Stride + ky - d.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < d.Kernel; kx++ {
+							ix := ox*d.Stride + kx - d.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += ker[ky*d.Kernel+kx] * x.Data[inBase+iy*w+ix]
+						}
+					}
+					out.Data[outBase+oy*wo+ox] = sum
+				}
+			}
+		}
+	}
+	return &ActRef{Name: d.LayerName + ".out", Kind: compress.KindConv, T: out}
+}
+
+// Backward implements Layer.
+func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := d.in.T
+	if x == nil {
+		panic("nn: depthwise backward needs saved input values")
+	}
+	h, w := x.Shape.H, x.Shape.W
+	ho, wo := d.outShape.H, d.outShape.W
+	dx := tensor.NewLike(x)
+	for n := 0; n < x.Shape.N; n++ {
+		for c := 0; c < d.C; c++ {
+			inBase := (n*d.C + c) * h * w
+			outBase := (n*d.C + c) * ho * wo
+			ker := d.Weight.W.Data[c*d.Kernel*d.Kernel : (c+1)*d.Kernel*d.Kernel]
+			kgrad := d.Weight.Grad.Data[c*d.Kernel*d.Kernel : (c+1)*d.Kernel*d.Kernel]
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					g := grad.Data[outBase+oy*wo+ox]
+					if g == 0 {
+						continue
+					}
+					for ky := 0; ky < d.Kernel; ky++ {
+						iy := oy*d.Stride + ky - d.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < d.Kernel; kx++ {
+							ix := ox*d.Stride + kx - d.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							kgrad[ky*d.Kernel+kx] += g * x.Data[inBase+iy*w+ix]
+							dx.Data[inBase+iy*w+ix] += g * ker[ky*d.Kernel+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"math"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/tensor"
+)
+
+// Additional layers beyond the paper's CNR vocabulary, completing the
+// training library for downstream users: average pooling and the common
+// smooth activations. Each saves its output ref like ReLU does — for
+// these functions the backward pass can be expressed through the output
+// alone, so a lossy recovered output gives the same compression-aware
+// gradient semantics as the paper's layers.
+
+// AvgPool2 is 2×2 average pooling with stride 2; it needs only shapes in
+// backward.
+type AvgPool2 struct {
+	LayerName string
+	inShape   tensor.Shape
+}
+
+// NewAvgPool2 builds the layer.
+func NewAvgPool2(name string) *AvgPool2 { return &AvgPool2{LayerName: name} }
+
+// Name implements Layer.
+func (p *AvgPool2) Name() string { return p.LayerName }
+
+// Params implements Layer.
+func (p *AvgPool2) Params() []*Param { return nil }
+
+// SavedRefs implements Layer.
+func (p *AvgPool2) SavedRefs() []*ActRef { return nil }
+
+// Forward implements Layer.
+func (p *AvgPool2) Forward(in *ActRef, _ bool) *ActRef {
+	x := in.T
+	sh := x.Shape
+	p.inShape = sh
+	ho, wo := sh.H/2, sh.W/2
+	out := tensor.New(sh.N, sh.C, ho, wo)
+	for nc := 0; nc < sh.N*sh.C; nc++ {
+		inBase := nc * sh.H * sh.W
+		outBase := nc * ho * wo
+		for oy := 0; oy < ho; oy++ {
+			for ox := 0; ox < wo; ox++ {
+				iy, ix := oy*2, ox*2
+				sum := x.Data[inBase+iy*sh.W+ix] + x.Data[inBase+iy*sh.W+ix+1] +
+					x.Data[inBase+(iy+1)*sh.W+ix] + x.Data[inBase+(iy+1)*sh.W+ix+1]
+				out.Data[outBase+oy*wo+ox] = sum / 4
+			}
+		}
+	}
+	return &ActRef{Name: p.LayerName + ".out", Kind: compress.KindPoolDropout, T: out}
+}
+
+// Backward implements Layer.
+func (p *AvgPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	sh := p.inShape
+	ho, wo := sh.H/2, sh.W/2
+	dx := tensor.New(sh.N, sh.C, sh.H, sh.W)
+	for nc := 0; nc < sh.N*sh.C; nc++ {
+		inBase := nc * sh.H * sh.W
+		outBase := nc * ho * wo
+		for oy := 0; oy < ho; oy++ {
+			for ox := 0; ox < wo; ox++ {
+				g := grad.Data[outBase+oy*wo+ox] / 4
+				iy, ix := oy*2, ox*2
+				dx.Data[inBase+iy*sh.W+ix] += g
+				dx.Data[inBase+iy*sh.W+ix+1] += g
+				dx.Data[inBase+(iy+1)*sh.W+ix] += g
+				dx.Data[inBase+(iy+1)*sh.W+ix+1] += g
+			}
+		}
+	}
+	return dx
+}
+
+// elementwiseLayer implements an activation function whose derivative is
+// expressible from the *output* value: f'(x) = dFromOut(f(x)).
+type elementwiseLayer struct {
+	LayerName string
+	fn        func(float32) float32
+	dFromOut  func(float32) float32
+	out       *ActRef
+}
+
+// Name implements Layer.
+func (e *elementwiseLayer) Name() string { return e.LayerName }
+
+// Params implements Layer.
+func (e *elementwiseLayer) Params() []*Param { return nil }
+
+// SavedRefs implements Layer.
+func (e *elementwiseLayer) SavedRefs() []*ActRef {
+	if e.out == nil {
+		return nil
+	}
+	return []*ActRef{e.out}
+}
+
+// Forward implements Layer.
+func (e *elementwiseLayer) Forward(in *ActRef, train bool) *ActRef {
+	x := in.T
+	out := tensor.NewLike(x)
+	for i, v := range x.Data {
+		out.Data[i] = e.fn(v)
+	}
+	ref := &ActRef{Name: e.LayerName + ".out", Kind: compress.KindConv, T: out}
+	if train {
+		e.out = ref
+	}
+	return ref
+}
+
+// Backward implements Layer.
+func (e *elementwiseLayer) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := grad.Clone()
+	saved := e.out.T
+	for i := range dx.Data {
+		dx.Data[i] *= e.dFromOut(saved.Data[i])
+	}
+	return dx
+}
+
+// NewSigmoid builds a logistic activation layer: σ'(x) = y(1−y).
+func NewSigmoid(name string) Layer {
+	return &elementwiseLayer{
+		LayerName: name,
+		fn: func(v float32) float32 {
+			return float32(1 / (1 + math.Exp(-float64(v))))
+		},
+		dFromOut: func(y float32) float32 { return y * (1 - y) },
+	}
+}
+
+// NewTanh builds a tanh activation layer: tanh'(x) = 1 − y².
+func NewTanh(name string) Layer {
+	return &elementwiseLayer{
+		LayerName: name,
+		fn:        func(v float32) float32 { return float32(math.Tanh(float64(v))) },
+		dFromOut:  func(y float32) float32 { return 1 - y*y },
+	}
+}
+
+// LeakyReLU applies max(x, αx). Unlike the smooth activations its
+// derivative needs the input sign, recoverable from the output sign
+// (both share it for α > 0), so the output ref suffices here too.
+type LeakyReLU struct {
+	LayerName string
+	Alpha     float32
+	out       *ActRef
+}
+
+// NewLeakyReLU builds the layer (α = 0.01 when zero).
+func NewLeakyReLU(name string, alpha float32) *LeakyReLU {
+	if alpha == 0 {
+		alpha = 0.01
+	}
+	return &LeakyReLU{LayerName: name, Alpha: alpha}
+}
+
+// Name implements Layer.
+func (l *LeakyReLU) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// SavedRefs implements Layer.
+func (l *LeakyReLU) SavedRefs() []*ActRef {
+	if l.out == nil {
+		return nil
+	}
+	return []*ActRef{l.out}
+}
+
+// Forward implements Layer.
+func (l *LeakyReLU) Forward(in *ActRef, train bool) *ActRef {
+	x := in.T
+	out := tensor.NewLike(x)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = l.Alpha * v
+		}
+	}
+	ref := &ActRef{Name: l.LayerName + ".out", Kind: compress.KindConv, T: out}
+	if train {
+		l.out = ref
+	}
+	return ref
+}
+
+// Backward implements Layer.
+func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := grad.Clone()
+	saved := l.out.T
+	for i := range dx.Data {
+		if saved.Data[i] <= 0 {
+			dx.Data[i] *= l.Alpha
+		}
+	}
+	return dx
+}

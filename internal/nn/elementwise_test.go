@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/tensor"
+)
+
+func TestAvgPoolForwardBackward(t *testing.T) {
+	p := NewAvgPool2("ap")
+	x := tensor.FromSlice([]float32{
+		1, 2, 5, 7,
+		3, 4, 9, 3,
+		0, 0, 4, 4,
+		0, 8, 4, 4,
+	}, 1, 1, 4, 4)
+	out := p.Forward(&ActRef{Kind: compress.KindConv, T: x}, true)
+	want := []float32{2.5, 6, 2, 4}
+	for i := range want {
+		if out.T.Data[i] != want[i] {
+			t.Fatalf("avg forward %v", out.T.Data)
+		}
+	}
+	dx := p.Backward(tensor.FromSlice([]float32{4, 8, 12, 16}, 1, 1, 2, 2))
+	if dx.At(0, 0, 0, 0) != 1 || dx.At(0, 0, 1, 3) != 2 || dx.At(0, 0, 2, 1) != 3 || dx.At(0, 0, 3, 3) != 4 {
+		t.Fatalf("avg backward %v", dx.Data)
+	}
+}
+
+func TestAvgPoolGrad(t *testing.T) {
+	p := NewAvgPool2("ap")
+	x := randT(100, 1, 2, 4, 4)
+	r := randT(101, 1, 2, 2, 2)
+	got := analyticGradInput(p, x, r)
+	want := numGradInput(p, x, r)
+	if d := maxRelDiff(got, want); d > 1e-2 {
+		t.Fatalf("avgpool grad rel diff %v", d)
+	}
+}
+
+func TestSmoothActivationGrads(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		l    Layer
+	}{
+		{"sigmoid", NewSigmoid("s")},
+		{"tanh", NewTanh("t")},
+		{"leaky", NewLeakyReLU("l", 0.1)},
+	} {
+		x := randT(102, 1, 2, 3, 3)
+		r := randT(103, 1, 2, 3, 3)
+		got := analyticGradInput(c.l, x, r)
+		want := numGradInput(c.l, x, r)
+		if d := maxRelDiff(got, want); d > 2e-2 {
+			t.Fatalf("%s grad rel diff %v", c.name, d)
+		}
+	}
+}
+
+func TestSigmoidTanhKnownValues(t *testing.T) {
+	x := tensor.FromSlice([]float32{0, 100, -100}, 1, 1, 1, 3)
+	s := NewSigmoid("s").Forward(&ActRef{Kind: compress.KindConv, T: x}, false)
+	if math.Abs(float64(s.T.Data[0])-0.5) > 1e-6 || s.T.Data[1] < 0.999 || s.T.Data[2] > 0.001 {
+		t.Fatalf("sigmoid %v", s.T.Data)
+	}
+	th := NewTanh("t").Forward(&ActRef{Kind: compress.KindConv, T: x}, false)
+	if th.T.Data[0] != 0 || th.T.Data[1] < 0.999 || th.T.Data[2] > -0.999 {
+		t.Fatalf("tanh %v", th.T.Data)
+	}
+}
+
+func TestLeakyReLUDefaults(t *testing.T) {
+	l := NewLeakyReLU("l", 0)
+	if l.Alpha != 0.01 {
+		t.Fatalf("default alpha %v", l.Alpha)
+	}
+	x := tensor.FromSlice([]float32{-2, 3}, 1, 1, 1, 2)
+	out := l.Forward(&ActRef{Kind: compress.KindConv, T: x}, true)
+	if out.T.Data[0] != -0.02 || out.T.Data[1] != 3 {
+		t.Fatalf("leaky forward %v", out.T.Data)
+	}
+	dx := l.Backward(tensor.FromSlice([]float32{1, 1}, 1, 1, 1, 2))
+	if math.Abs(float64(dx.Data[0])-0.01) > 1e-7 || dx.Data[1] != 1 {
+		t.Fatalf("leaky backward %v", dx.Data)
+	}
+}
+
+func TestSmoothActivationsUnderCompression(t *testing.T) {
+	// Their saved outputs are ActRefs, so the compression hook applies;
+	// a recovered (lossy) output must still drive a finite backward pass.
+	l := NewSigmoid("s")
+	x := randT(104, 1, 2, 8, 8)
+	out := l.Forward(&ActRef{Kind: compress.KindConv, T: x}, true)
+	m := compress.SFPROnly{}
+	res := m.Compress(out.T, compress.KindConv, 0)
+	out.T = res.Recovered
+	g := randT(105, 1, 2, 8, 8)
+	dx := l.Backward(g)
+	if NaNGuard(dx) {
+		t.Fatal("compressed sigmoid backward NaN")
+	}
+}

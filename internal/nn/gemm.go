@@ -1,0 +1,67 @@
+package nn
+
+// Gemm computes C += A·B for row-major matrices: A is M×K, B is K×N,
+// C is M×N. The k-outer loop with a row broadcast keeps the inner loop a
+// contiguous saxpy, which the Go compiler vectorizes reasonably well —
+// the workhorse behind im2col convolution and the linear layer.
+func Gemm(m, k, n int, a, b, c []float32) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("nn: gemm size mismatch")
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// GemmTA computes C += Aᵀ·B where A is K×M (so Aᵀ is M×K), B is K×N,
+// C is M×N.
+func GemmTA(m, k, n int, a, b, c []float32) {
+	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
+		panic("nn: gemmTA size mismatch")
+	}
+	for kk := 0; kk < k; kk++ {
+		arow := a[kk*m : (kk+1)*m]
+		brow := b[kk*n : (kk+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			crow := c[i*n : (i+1)*n]
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// GemmTB computes C += A·Bᵀ where A is M×K, B is N×K (so Bᵀ is K×N),
+// C is M×N.
+func GemmTB(m, k, n int, a, b, c []float32) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic("nn: gemmTB size mismatch")
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var sum float32
+			for kk := range arow {
+				sum += arow[kk] * brow[kk]
+			}
+			crow[j] += sum
+		}
+	}
+}

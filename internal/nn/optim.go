@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math"
+
+	"jpegact/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients and
+// zeroes the gradients. SGD (loss.go) is the paper's optimizer; Nesterov
+// and Adam are provided for downstream users of the training library.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+var (
+	_ Optimizer = (*SGD)(nil)
+	_ Optimizer = (*Nesterov)(nil)
+	_ Optimizer = (*Adam)(nil)
+)
+
+// Nesterov is SGD with Nesterov momentum: the gradient is evaluated at
+// the look-ahead point, implemented in the standard rewritten form
+// v ← μv − ηg;  w ← w + μv − ηg.
+type Nesterov struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    map[*Param]*tensor.Tensor
+}
+
+// NewNesterov builds the optimizer.
+func NewNesterov(lr, momentum, weightDecay float64) *Nesterov {
+	return &Nesterov{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: map[*Param]*tensor.Tensor{}}
+}
+
+// Step implements Optimizer.
+func (n *Nesterov) Step(params []*Param) {
+	lr := float32(n.LR)
+	mom := float32(n.Momentum)
+	wd := float32(n.WeightDecay)
+	for _, p := range params {
+		v := n.velocity[p]
+		if v == nil {
+			v = tensor.NewLike(p.W)
+			n.velocity[p] = v
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i] + wd*p.W.Data[i]
+			v.Data[i] = mom*v.Data[i] - lr*g
+			p.W.Data[i] += mom*v.Data[i] - lr*g
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Kingma–Ba adaptive optimizer with bias correction.
+type Adam struct {
+	LR           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	WeightDecay  float64
+	step         int
+	m, v         map[*Param]*tensor.Tensor
+}
+
+// NewAdam builds the optimizer with the canonical β defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param]*tensor.Tensor{}, v: map[*Param]*tensor.Tensor{},
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = tensor.NewLike(p.W)
+			v = tensor.NewLike(p.W)
+			a.m[p] = m
+			a.v[p] = v
+		}
+		for i := range p.W.Data {
+			g := float64(p.Grad.Data[i]) + a.WeightDecay*float64(p.W.Data[i])
+			mi := a.Beta1*float64(m.Data[i]) + (1-a.Beta1)*g
+			vi := a.Beta2*float64(v.Data[i]) + (1-a.Beta2)*g*g
+			m.Data[i] = float32(mi)
+			v.Data[i] = float32(vi)
+			p.W.Data[i] -= float32(a.LR * (mi / bc1) / (math.Sqrt(vi/bc2) + a.Eps))
+		}
+		p.ZeroGrad()
+	}
+}

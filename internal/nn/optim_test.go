@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+// quadratic sets grad = 2(w - target) for a scalar parameter, the convex
+// test problem every optimizer must solve.
+func quadStep(p *Param, target float32) {
+	p.Grad.Data[0] = 2 * (p.W.Data[0] - target)
+}
+
+func optimizeQuad(t *testing.T, opt Optimizer, steps int) float64 {
+	t.Helper()
+	p := NewParam("w", 1, 1, 1, 1)
+	p.W.Data[0] = 5
+	for i := 0; i < steps; i++ {
+		quadStep(p, 1)
+		opt.Step([]*Param{p})
+	}
+	return math.Abs(float64(p.W.Data[0]) - 1)
+}
+
+func TestAllOptimizersConvergeOnQuadratic(t *testing.T) {
+	cases := []struct {
+		name  string
+		opt   Optimizer
+		steps int
+	}{
+		{"sgd", NewSGD(0.1, 0, 0), 100},
+		{"sgd+momentum", NewSGD(0.05, 0.9, 0), 200},
+		{"nesterov", NewNesterov(0.05, 0.9, 0), 200},
+		{"adam", NewAdam(0.2), 300},
+	}
+	for _, c := range cases {
+		if err := optimizeQuad(t, c.opt, c.steps); err > 1e-2 {
+			t.Fatalf("%s: distance to optimum %v", c.name, err)
+		}
+	}
+}
+
+func TestNesterovFasterThanPlainMomentumEarly(t *testing.T) {
+	// On the quadratic with matched hyperparameters, Nesterov's
+	// look-ahead damps oscillation: after few steps it should be at
+	// least as close to the optimum.
+	sgdErr := optimizeQuad(t, NewSGD(0.05, 0.9, 0), 25)
+	nagErr := optimizeQuad(t, NewNesterov(0.05, 0.9, 0), 25)
+	if nagErr > sgdErr*1.5 {
+		t.Fatalf("nesterov %v much worse than momentum %v", nagErr, sgdErr)
+	}
+}
+
+func TestAdamScaleInvariance(t *testing.T) {
+	// Adam's per-parameter normalization makes the first update ≈ LR
+	// regardless of gradient magnitude.
+	for _, scale := range []float32{1e-3, 1, 1e3} {
+		p := NewParam("w", 1, 1, 1, 1)
+		p.W.Data[0] = 0
+		p.Grad.Data[0] = scale
+		opt := NewAdam(0.1)
+		opt.Step([]*Param{p})
+		if d := math.Abs(float64(p.W.Data[0]) + 0.1); d > 1e-3 {
+			t.Fatalf("scale %v: first update %v, want ≈ -0.1", scale, p.W.Data[0])
+		}
+	}
+}
+
+func TestAdamWeightDecay(t *testing.T) {
+	p := NewParam("w", 1, 1, 1, 1)
+	p.W.Data[0] = 10
+	opt := NewAdam(0.01)
+	opt.WeightDecay = 0.1
+	for i := 0; i < 50; i++ {
+		opt.Step([]*Param{p}) // zero gradient: only decay acts
+	}
+	if p.W.Data[0] >= 10 {
+		t.Fatal("weight decay did not shrink the weight")
+	}
+}
+
+func TestOptimizersZeroGrad(t *testing.T) {
+	for _, opt := range []Optimizer{NewSGD(0.1, 0.9, 0), NewNesterov(0.1, 0.9, 0), NewAdam(0.1)} {
+		p := NewParam("w", 1, 1, 1, 2)
+		p.Grad.Fill(1)
+		opt.Step([]*Param{p})
+		if p.Grad.MaxAbs() != 0 {
+			t.Fatalf("%T left gradients set", opt)
+		}
+	}
+}

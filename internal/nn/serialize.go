@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Model checkpointing: parameters (and batch-norm running statistics) are
+// written as a simple length-prefixed binary stream, keyed by parameter
+// name so a checkpoint can be restored into a freshly-built network of
+// the same architecture.
+
+var (
+	// ErrBadCheckpoint is returned when a stream cannot be parsed.
+	ErrBadCheckpoint = errors.New("nn: bad checkpoint")
+	checkpointMagic  = [4]byte{'J', 'A', 'C', '1'}
+)
+
+// collectState returns every named float32 vector of the network:
+// learnable parameters plus batch-norm running statistics.
+func collectState(root Layer) ([]string, [][]float32) {
+	var names []string
+	var vecs [][]float32
+	var walk func(Layer)
+	walk = func(l Layer) {
+		switch t := l.(type) {
+		case *Sequential:
+			for _, c := range t.Layers {
+				walk(c)
+			}
+			return
+		case *Residual:
+			walk(t.Body)
+			if t.Shortcut != nil {
+				walk(t.Shortcut)
+			}
+			return
+		case *BatchNorm:
+			names = append(names, t.LayerName+".running_mean", t.LayerName+".running_var")
+			vecs = append(vecs, t.RunningMean, t.RunningVar)
+		}
+		for _, p := range l.Params() {
+			names = append(names, p.Name)
+			vecs = append(vecs, p.W.Data)
+		}
+	}
+	walk(root)
+	return names, vecs
+}
+
+// SaveCheckpoint writes the network state to w.
+func SaveCheckpoint(w io.Writer, root Layer) error {
+	names, vecs := collectState(root)
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(names))); err != nil {
+		return err
+	}
+	for i, name := range names {
+		if err := writeString(w, name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(vecs[i]))); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*len(vecs[i]))
+		for j, v := range vecs[i] {
+			binary.LittleEndian.PutUint32(buf[4*j:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCheckpoint restores state saved by SaveCheckpoint into root, which
+// must have the same architecture (same parameter names and sizes).
+func LoadCheckpoint(r io.Reader, root Layer) error {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return err
+	}
+	if magic != checkpointMagic {
+		return ErrBadCheckpoint
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	names, vecs := collectState(root)
+	byName := make(map[string][]float32, len(names))
+	for i, n := range names {
+		byName[n] = vecs[i]
+	}
+	for i := uint32(0); i < count; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return err
+		}
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		dst, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint has unknown state %q: %w", name, ErrBadCheckpoint)
+		}
+		if len(dst) != int(n) {
+			return fmt.Errorf("nn: state %q has %d values, model wants %d: %w",
+				name, n, len(dst), ErrBadCheckpoint)
+		}
+		for j := range dst {
+			dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+	}
+	return nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

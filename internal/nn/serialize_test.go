@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/tensor"
+)
+
+func buildNet(seed uint64) *Sequential {
+	rng := tensor.NewRNG(seed)
+	return NewSequential("net",
+		NewConv2D("c1", 1, 4, 3, ConvOpts{Pad: 1, Bias: true}, rng),
+		NewBatchNorm("bn1", 4),
+		NewReLU("r1"),
+		NewResidual("res", NewSequential("body",
+			NewConv2D("c2", 4, 4, 3, ConvOpts{Pad: 1}, rng),
+			NewBatchNorm("bn2", 4),
+		), nil),
+		NewGlobalAvgPool("gap"),
+		NewLinear("fc", 4, 2, rng),
+	)
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	src := buildNet(1)
+	// Perturb state: train-forward once so BN running stats move.
+	x := tensor.New(2, 1, 8, 8)
+	x.FillNormal(tensor.NewRNG(2), 0, 1)
+	src.Forward(&ActRef{Kind: compress.KindConv, T: x}, true)
+
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := buildNet(99) // different init
+	if err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), dst); err != nil {
+		t.Fatal(err)
+	}
+	// All state vectors must match exactly.
+	srcNames, srcVecs := collectState(src)
+	dstNames, dstVecs := collectState(dst)
+	if len(srcNames) != len(dstNames) {
+		t.Fatalf("state count %d vs %d", len(srcNames), len(dstNames))
+	}
+	for i := range srcNames {
+		if srcNames[i] != dstNames[i] {
+			t.Fatalf("name %q vs %q", srcNames[i], dstNames[i])
+		}
+		for j := range srcVecs[i] {
+			if srcVecs[i][j] != dstVecs[i][j] {
+				t.Fatalf("state %q differs at %d", srcNames[i], j)
+			}
+		}
+	}
+	// And forward outputs must agree in eval mode.
+	a := src.Forward(&ActRef{Kind: compress.KindConv, T: x}, false)
+	b := dst.Forward(&ActRef{Kind: compress.KindConv, T: x}, false)
+	if tensor.MSE(a.T, b.T) != 0 {
+		t.Fatal("restored network computes different outputs")
+	}
+}
+
+func TestCheckpointIncludesRunningStats(t *testing.T) {
+	names, _ := collectState(buildNet(3))
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"bn1.running_mean", "bn1.running_var", "c1.W", "c1.b", "fc.W"} {
+		if !found[want] {
+			t.Fatalf("state %q missing from %v", want, names)
+		}
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	dst := buildNet(4)
+	if err := LoadCheckpoint(bytes.NewReader([]byte("nope")), dst); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, buildNet(5)); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated stream.
+	if err := LoadCheckpoint(bytes.NewReader(buf.Bytes()[:len(buf.Bytes())/2]), dst); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestCheckpointRejectsArchitectureMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, buildNet(6)); err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(7)
+	other := NewSequential("other", NewConv2D("weird", 1, 2, 3, ConvOpts{}, rng))
+	if err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("mismatched architecture accepted")
+	}
+}

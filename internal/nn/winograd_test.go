@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/tensor"
+)
+
+func TestWinogradMatchesIm2col(t *testing.T) {
+	rng := tensor.NewRNG(60)
+	for _, cfg := range []struct {
+		n, inC, outC, h, w, pad int
+		bias                    bool
+	}{
+		{1, 1, 1, 4, 4, 1, false},
+		{2, 3, 5, 8, 8, 1, true},
+		{1, 2, 2, 7, 9, 1, false}, // odd spatial dims exercise edge tiles
+		{1, 2, 4, 6, 6, 0, true},  // no padding
+	} {
+		ref := NewConv2D("ref", cfg.inC, cfg.outC, 3, ConvOpts{Pad: cfg.pad, Bias: cfg.bias}, tensor.NewRNG(61))
+		win := NewConv2D("win", cfg.inC, cfg.outC, 3, ConvOpts{Pad: cfg.pad, Bias: cfg.bias, Winograd: true}, tensor.NewRNG(61))
+		win.Weight.W.CopyFrom(ref.Weight.W)
+		if cfg.bias {
+			win.Bias.W.CopyFrom(ref.Bias.W)
+		}
+		x := tensor.New(cfg.n, cfg.inC, cfg.h, cfg.w)
+		x.FillNormal(rng, 0, 1)
+		a := ref.Forward(&ActRef{Kind: compress.KindConv, T: x}, false)
+		b := win.Forward(&ActRef{Kind: compress.KindConv, T: x}, false)
+		if a.T.Shape != b.T.Shape {
+			t.Fatalf("%+v: shapes %v vs %v", cfg, a.T.Shape, b.T.Shape)
+		}
+		for i := range a.T.Data {
+			if math.Abs(float64(a.T.Data[i]-b.T.Data[i])) > 1e-4 {
+				t.Fatalf("%+v: output %d differs: %v vs %v", cfg, i, a.T.Data[i], b.T.Data[i])
+			}
+		}
+	}
+}
+
+func TestWinogradFallsBackForNon3x3(t *testing.T) {
+	rng := tensor.NewRNG(62)
+	c := NewConv2D("c", 2, 2, 1, ConvOpts{Winograd: true}, rng)
+	if c.winogradApplicable() {
+		t.Fatal("1x1 must not claim Winograd")
+	}
+	s := NewConv2D("s", 2, 2, 3, ConvOpts{Stride: 2, Pad: 1, Winograd: true}, rng)
+	if s.winogradApplicable() {
+		t.Fatal("stride-2 must not claim Winograd")
+	}
+	// And the layers still compute (via im2col).
+	x := tensor.New(1, 2, 8, 8)
+	x.FillNormal(rng, 0, 1)
+	if out := s.Forward(&ActRef{Kind: compress.KindConv, T: x}, false); out.T.Shape.H != 4 {
+		t.Fatalf("fallback shape %v", out.T.Shape)
+	}
+}
+
+func TestWinogradTrainingEndToEnd(t *testing.T) {
+	// A Winograd-forward conv must still train (backward uses im2col on
+	// the saved input).
+	rng := tensor.NewRNG(63)
+	net := NewSequential("net",
+		NewConv2D("c1", 1, 4, 3, ConvOpts{Pad: 1, Winograd: true}, rng),
+		NewBatchNorm("bn", 4),
+		NewReLU("r"),
+		NewGlobalAvgPool("gap"),
+		NewLinear("fc", 4, 2, rng),
+	)
+	opt := NewSGD(0.1, 0.9, 0)
+	dataRng := tensor.NewRNG(64)
+	var first, last float64
+	for step := 0; step < 25; step++ {
+		x := tensor.New(8, 1, 8, 8)
+		labels := make([]int, 8)
+		for i := 0; i < 8; i++ {
+			cl := i % 2
+			labels[i] = cl
+			for j := 0; j < 64; j++ {
+				x.Data[i*64+j] = float32(float64(cl)*2 - 1 + 0.5*dataRng.Norm())
+			}
+		}
+		out := net.Forward(&ActRef{Kind: compress.KindConv, T: x}, true)
+		loss, grad := SoftmaxCrossEntropy(out.T, labels)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	if last > first*0.5 {
+		t.Fatalf("winograd training did not converge: %v -> %v", first, last)
+	}
+}
+
+func BenchmarkConvIm2col(b *testing.B) {
+	benchConv(b, false)
+}
+
+func BenchmarkConvWinograd(b *testing.B) {
+	benchConv(b, true)
+}
+
+func benchConv(b *testing.B, winograd bool) {
+	rng := tensor.NewRNG(65)
+	c := NewConv2D("c", 16, 16, 3, ConvOpts{Pad: 1, Winograd: winograd}, rng)
+	x := tensor.New(4, 16, 32, 32)
+	x.FillNormal(rng, 0, 1)
+	ref := &ActRef{Kind: compress.KindConv, T: x}
+	b.SetBytes(int64(x.Bytes()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Forward(ref, false)
+	}
+}

@@ -1,0 +1,180 @@
+// Package offload implements the host-memory side of the JPEG-ACT
+// system: after the forward pass, saved activations are *actually*
+// serialized into compressed byte buffers (the CPU DRAM of Fig. 7) and
+// the float tensors are released; before a layer's backward pass its
+// activation is restored by decompressing the stored bytes. Unlike the
+// functional simulation in internal/train — which swaps in the recovered
+// tensor immediately — this path realizes the memory saving for real:
+// between offload and restore, only the compressed bytes are live.
+package offload
+
+import (
+	"errors"
+	"fmt"
+
+	"jpegact/internal/coding"
+	"jpegact/internal/compress"
+	"jpegact/internal/dct"
+	"jpegact/internal/nn"
+	"jpegact/internal/quant"
+	"jpegact/internal/sfpr"
+	"jpegact/internal/tensor"
+)
+
+// ErrNotStored is returned when restoring a ref that was never offloaded.
+var ErrNotStored = errors.New("offload: activation not stored")
+
+// entry is one offloaded activation in host memory.
+type entry struct {
+	shape  tensor.Shape
+	kind   compress.Kind
+	scales []float32 // SFPR channel scales
+	// Exactly one of the following payloads is set.
+	jpegStream []byte // SH+ZVC coded blocks (dense conv/sum path)
+	info       tensor.PadInfo
+	zvcStream  []byte // SFPR+ZVC (sparse kinds)
+	brcMask    []byte // BRC bit mask (ReLU to other)
+}
+
+// Store is a host-memory activation store using the JPEG-ACT pipeline
+// with a fixed DQT.
+type Store struct {
+	DQT     quant.DQT
+	S       float64
+	entries map[*nn.ActRef]*entry
+	// HostBytes is the total compressed footprint currently resident.
+	HostBytes int
+}
+
+// NewStore builds a store with the given quantization table.
+func NewStore(d quant.DQT) *Store {
+	return &Store{DQT: d, S: sfpr.DefaultS, entries: map[*nn.ActRef]*entry{}}
+}
+
+// Offload compresses the ref's activation into host memory and releases
+// the tensor (ref.T becomes nil, or a BRC mask replaces it). Refs are
+// deduplicated by pointer; offloading the same ref twice is an error.
+func (s *Store) Offload(ref *nn.ActRef) error {
+	if _, dup := s.entries[ref]; dup {
+		return fmt.Errorf("offload: ref %q already stored", ref.Name)
+	}
+	if ref.T == nil {
+		return ErrNotStored
+	}
+	x := ref.T
+	e := &entry{shape: x.Shape, kind: ref.Kind}
+
+	switch ref.Kind {
+	case compress.KindReLUToOther:
+		e.brcMask = coding.EncodeBRC(x.Data)
+		mask, err := coding.DecodeBRC(e.brcMask, x.Elems())
+		if err != nil {
+			return err
+		}
+		ref.Mask = mask
+		ref.T = nil
+	case compress.KindConv:
+		if x.Shape.N*x.Shape.C*x.Shape.H >= 8 && x.Shape.W >= 8 {
+			p := compress.JPEGAct(s.DQT)
+			p.S = s.S
+			blocks, scales, info := p.QuantizeBlocks(x)
+			flat := make([]int8, 0, len(blocks)*64)
+			for i := range blocks {
+				flat = append(flat, blocks[i][:]...)
+			}
+			e.jpegStream = coding.EncodeZVC(flat)
+			e.scales = scales
+			e.info = info
+			ref.T = nil
+			break
+		}
+		fallthrough
+	default:
+		// Sparse kinds and small tensors: SFPR + ZVC.
+		c := sfpr.Compress(x, s.S)
+		e.zvcStream = coding.EncodeZVC(c.Values)
+		e.scales = c.Scales
+		ref.T = nil
+	}
+	s.entries[ref] = e
+	s.HostBytes += e.bytes()
+	return nil
+}
+
+func (e *entry) bytes() int {
+	return len(e.jpegStream) + len(e.zvcStream) + len(e.brcMask) + 4*len(e.scales)
+}
+
+// Restore decompresses the stored activation back into ref.T (no-op for
+// BRC refs, whose mask is already attached) and frees the host copy.
+func (s *Store) Restore(ref *nn.ActRef) error {
+	e, ok := s.entries[ref]
+	if !ok {
+		return ErrNotStored
+	}
+	delete(s.entries, ref)
+	s.HostBytes -= e.bytes()
+
+	switch {
+	case e.brcMask != nil:
+		return nil // the mask already lives on the ref
+	case e.jpegStream != nil:
+		nBlocks := e.info.PaddedElems() / 64
+		flat, err := coding.DecodeZVC(e.jpegStream, nBlocks*64)
+		if err != nil {
+			return err
+		}
+		blocks := make([][64]int8, nBlocks)
+		for i := range blocks {
+			copy(blocks[i][:], flat[i*64:(i+1)*64])
+		}
+		p := compress.JPEGAct(s.DQT)
+		p.S = s.S
+		ref.T = p.ReconstructBlocks(blocks, e.scales, e.info)
+		return nil
+	default:
+		vals, err := coding.DecodeZVC(e.zvcStream, e.shape.Elems())
+		if err != nil {
+			return err
+		}
+		out := tensor.New(e.shape.N, e.shape.C, e.shape.H, e.shape.W)
+		sfpr.DequantizeInto(vals, e.scales, out)
+		ref.T = out
+		return nil
+	}
+}
+
+// OffloadAll offloads every unique saved ref of a network (forward-pass
+// end), returning the original and compressed byte totals.
+func (s *Store) OffloadAll(refs []*nn.ActRef) (orig, comp int, err error) {
+	seen := map[*nn.ActRef]bool{}
+	for _, ref := range refs {
+		if seen[ref] || ref.T == nil {
+			continue
+		}
+		seen[ref] = true
+		orig += ref.T.Bytes()
+		if err := s.Offload(ref); err != nil {
+			return orig, s.HostBytes, err
+		}
+	}
+	return orig, s.HostBytes, nil
+}
+
+// RestoreAll restores every stored ref (used before a monolithic backward
+// pass; layer-at-a-time restoration uses Restore directly in reverse
+// order, which is what bounds live memory).
+func (s *Store) RestoreAll() error {
+	for ref := range s.entries {
+		if err := s.Restore(ref); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stored returns the number of resident host entries.
+func (s *Store) Stored() int { return len(s.entries) }
+
+// BlockSize echoes the JPEG block constant for callers sizing buffers.
+const BlockSize = dct.BlockSize

@@ -1,0 +1,195 @@
+package offload
+
+import (
+	"testing"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/data"
+	"jpegact/internal/models"
+	"jpegact/internal/nn"
+	"jpegact/internal/quant"
+	"jpegact/internal/tensor"
+)
+
+func denseRef(seed uint64) *nn.ActRef {
+	r := tensor.NewRNG(seed)
+	x := data.ActivationTensor(r, 2, 4, 16, 16, 0.5, 1.0)
+	return &nn.ActRef{Name: "act", Kind: compress.KindConv, T: x}
+}
+
+func TestOffloadRestoreDense(t *testing.T) {
+	s := NewStore(quant.OptL())
+	ref := denseRef(1)
+	orig := ref.T.Clone()
+	origBytes := ref.T.Bytes()
+
+	if err := s.Offload(ref); err != nil {
+		t.Fatal(err)
+	}
+	if ref.T != nil {
+		t.Fatal("tensor not released after offload")
+	}
+	if s.HostBytes <= 0 || s.HostBytes >= origBytes {
+		t.Fatalf("host bytes %d vs original %d", s.HostBytes, origBytes)
+	}
+	if err := s.Restore(ref); err != nil {
+		t.Fatal(err)
+	}
+	if ref.T == nil || ref.T.Shape != orig.Shape {
+		t.Fatal("restore failed")
+	}
+	if s.HostBytes != 0 || s.Stored() != 0 {
+		t.Fatalf("store not drained: %d bytes, %d entries", s.HostBytes, s.Stored())
+	}
+	if e := tensor.L2Error(orig, ref.T); e > 0.01 {
+		t.Fatalf("restored error %v", e)
+	}
+}
+
+func TestOffloadRestoreMatchesFunctionalMethod(t *testing.T) {
+	// The store must reconstruct exactly what the functional JPEG-ACT
+	// method produces (same pipeline, same DQT).
+	ref := denseRef(2)
+	orig := ref.T.Clone()
+	m := compress.NewJPEGAct(quant.Fixed(quant.OptL()))
+	want := m.Compress(orig, compress.KindConv, 0).Recovered
+
+	s := NewStore(quant.OptL())
+	if err := s.Offload(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(ref); err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MSE(want, ref.T) != 0 {
+		t.Fatal("store and functional method disagree")
+	}
+}
+
+func TestOffloadBRC(t *testing.T) {
+	r := tensor.NewRNG(3)
+	x := data.ActivationTensor(r, 1, 2, 16, 16, 0.5, 1.0)
+	for i, v := range x.Data {
+		if v < 0 {
+			x.Data[i] = 0
+		}
+	}
+	wantMask := make([]bool, x.Elems())
+	for i, v := range x.Data {
+		wantMask[i] = v > 0
+	}
+	ref := &nn.ActRef{Name: "relu", Kind: compress.KindReLUToOther, T: x}
+	s := NewStore(quant.OptH())
+	if err := s.Offload(ref); err != nil {
+		t.Fatal(err)
+	}
+	if ref.T != nil || ref.Mask == nil {
+		t.Fatal("BRC path must keep only the mask")
+	}
+	for i := range wantMask {
+		if ref.Mask[i] != wantMask[i] {
+			t.Fatalf("mask bit %d wrong", i)
+		}
+	}
+	if err := s.Restore(ref); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffloadSparseAndSmall(t *testing.T) {
+	r := tensor.NewRNG(4)
+	// Small tensor (W < 8) falls to SFPR+ZVC even for the conv kind.
+	x := tensor.New(1, 2, 4, 4)
+	x.FillNormal(r, 0, 1)
+	ref := &nn.ActRef{Name: "small", Kind: compress.KindConv, T: x}
+	orig := x.Clone()
+	s := NewStore(quant.OptH())
+	if err := s.Offload(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(ref); err != nil {
+		t.Fatal(err)
+	}
+	if e := tensor.L2Error(orig, ref.T); e > 0.05 {
+		t.Fatalf("small tensor error %v", e)
+	}
+}
+
+func TestOffloadErrors(t *testing.T) {
+	s := NewStore(quant.OptL())
+	ref := denseRef(5)
+	if err := s.Restore(ref); err != ErrNotStored {
+		t.Fatalf("restore before offload: %v", err)
+	}
+	if err := s.Offload(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Offload(ref); err == nil {
+		t.Fatal("double offload accepted")
+	}
+	empty := &nn.ActRef{Name: "nil"}
+	if err := s.Offload(empty); err != ErrNotStored {
+		t.Fatalf("nil tensor offload: %v", err)
+	}
+}
+
+func TestEndToEndTrainingStepWithRealOffload(t *testing.T) {
+	// Forward → offload all saved refs (float tensors freed) → restore
+	// in reverse order → backward. The gradient flow must work on the
+	// restored (lossy) activations exactly like the functional trainer.
+	m := models.ResNet18(models.Scale{Width: 6, Blocks: 1}, 2, tensor.NewRNG(6))
+	ds := data.NewClassification(data.ClassificationConfig{Classes: 2, Channels: 3, H: 16, W: 16, Seed: 7})
+	x, labels := ds.Batch(4)
+
+	out := m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: x}, true)
+	loss, grad := nn.SoftmaxCrossEntropy(out.T, labels)
+	if loss <= 0 {
+		t.Fatalf("loss %v", loss)
+	}
+
+	s := NewStore(quant.OptL())
+	orig, comp, err := s.OffloadAll(m.Net.SavedRefs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp <= 0 || comp >= orig {
+		t.Fatalf("offload footprint %d vs %d", comp, orig)
+	}
+	// Every dense saved ref must have released its tensor.
+	for _, ref := range m.Net.SavedRefs() {
+		if ref.T != nil && ref.Mask == nil {
+			t.Fatalf("ref %q still resident", ref.Name)
+		}
+	}
+	// Restore in reverse order, as the backward prefetcher would.
+	refs := m.Net.SavedRefs()
+	seen := map[*nn.ActRef]bool{}
+	for i := len(refs) - 1; i >= 0; i-- {
+		if seen[refs[i]] || refs[i].Mask != nil {
+			continue
+		}
+		seen[refs[i]] = true
+		if err := s.Restore(refs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stored() != 0 {
+		// BRC entries may remain; drain them.
+		if err := s.RestoreAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dx := m.Net.Backward(grad)
+	if nn.NaNGuard(dx) {
+		t.Fatal("backward on restored activations produced NaN")
+	}
+	gotGrad := false
+	for _, p := range m.Net.Params() {
+		if p.Grad.MaxAbs() > 0 {
+			gotGrad = true
+		}
+	}
+	if !gotGrad {
+		t.Fatal("no gradients after offloaded step")
+	}
+}

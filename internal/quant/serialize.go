@@ -1,0 +1,74 @@
+package quant
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DQT text serialization: the format cmd/dqtopt emits so optimized tables
+// can be stored, diffed, and reloaded. A file is a name line followed by
+// eight rows of eight divisors:
+//
+//	dqt <name>
+//	8.0 2.0 2.3 ...
+//	...
+
+// ErrBadDQT is returned when a table cannot be parsed.
+var ErrBadDQT = errors.New("quant: bad DQT encoding")
+
+// Save writes d in the text format.
+func (d *DQT) Save(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "dqt %s\n", d.Name); err != nil {
+		return err
+	}
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			sep := " "
+			if c == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "%s%g", sep, d.Entries[r*8+c]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDQT parses a table written by Save.
+func LoadDQT(r io.Reader) (DQT, error) {
+	var d DQT
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return d, ErrBadDQT
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 || header[0] != "dqt" {
+		return d, fmt.Errorf("bad header %q: %w", sc.Text(), ErrBadDQT)
+	}
+	d.Name = header[1]
+	for row := 0; row < 8; row++ {
+		if !sc.Scan() {
+			return d, fmt.Errorf("missing row %d: %w", row, ErrBadDQT)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 8 {
+			return d, fmt.Errorf("row %d has %d entries: %w", row, len(fields), ErrBadDQT)
+		}
+		for col, fstr := range fields {
+			v, err := strconv.ParseFloat(fstr, 64)
+			if err != nil || v <= 0 {
+				return d, fmt.Errorf("row %d entry %q: %w", row, fstr, ErrBadDQT)
+			}
+			d.Entries[row*8+col] = v
+		}
+	}
+	return d, sc.Err()
+}

@@ -1,0 +1,39 @@
+package quant
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDQTSaveLoadRoundtrip(t *testing.T) {
+	for _, d := range []DQT{JPEGQuality(80), OptL(), OptH(), Uniform("u", 8, 31.5)} {
+		var buf bytes.Buffer
+		if err := d.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadDQT(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if got.Name != d.Name || got.Entries != d.Entries {
+			t.Fatalf("%s roundtrip mismatch", d.Name)
+		}
+	}
+}
+
+func TestLoadDQTRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"nope optL\n1 1 1 1 1 1 1 1\n",
+		"dqt x\n1 2 3\n", // short row
+		"dqt x\n" + strings.Repeat("1 1 1 1 1 1 1 1\n", 7), // missing row
+		"dqt x\n1 1 1 1 1 1 1 bad\n" + strings.Repeat("1 1 1 1 1 1 1 1\n", 7),
+		"dqt x\n1 1 1 1 1 1 1 -2\n" + strings.Repeat("1 1 1 1 1 1 1 1\n", 7),
+	}
+	for i, c := range cases {
+		if _, err := LoadDQT(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package sfpr implements the precision-reduction front ends of the paper:
+//
+//   - SFPR, Scaled Fix-point Precision Reduction (§III-B, Eqns. 4–5): the
+//     paper's contribution. Activations are max-scaled per channel and cast
+//     to signed 8-bit integers, normalizing every channel to the full
+//     integer range before JPEG compression.
+//   - DPR, Dynamic Precision Reduction (GIST): a straight cast to a
+//     reduced-precision minifloat (8- or 16-bit), which under-utilizes the
+//     representable range on small-magnitude channels.
+//   - BFP, Block Floating Point: per-channel power-of-two shared exponents
+//     with fixed-point mantissas.
+package sfpr
+
+import (
+	"math"
+
+	"jpegact/internal/tensor"
+)
+
+// DefaultS is the global scaling factor selected in §III-B (Fig. 10): it
+// minimizes the combined clipping+truncation error of SFPR, JPEG-BASE and
+// JPEG-ACT and is shared across all networks and layers.
+const DefaultS = 1.125
+
+// Compressed is an SFPR-compressed activation: int8 values in the original
+// NCHW order plus the per-channel scale factors needed for recovery.
+type Compressed struct {
+	Shape  tensor.Shape
+	Values []int8
+	Scales []float32 // sc per channel (Eqn. 4); 0 for all-zero channels
+}
+
+// Bytes returns the storage footprint: one byte per value plus one float32
+// scale per channel.
+func (c *Compressed) Bytes() int { return len(c.Values) + 4*len(c.Scales) }
+
+// Compress applies SFPR with global scale S to x.
+func Compress(x *tensor.Tensor, s float64) *Compressed {
+	maxes := x.ChannelMaxAbs()
+	scales := make([]float32, len(maxes))
+	for c, m := range maxes {
+		if m > 0 {
+			scales[c] = float32(s / float64(m))
+		}
+	}
+	out := &Compressed{Shape: x.Shape, Values: make([]int8, x.Elems()), Scales: scales}
+	QuantizeInto(x, scales, out.Values)
+	return out
+}
+
+// QuantizeInto performs the integer cast of Eqn. 5 given precomputed
+// per-channel scales, writing into vals (len = x.Elems()).
+func QuantizeInto(x *tensor.Tensor, scales []float32, vals []int8) {
+	sh := x.Shape
+	hw := sh.H * sh.W
+	for n := 0; n < sh.N; n++ {
+		for c := 0; c < sh.C; c++ {
+			sc := scales[c]
+			base := (n*sh.C + c) * hw
+			for i := 0; i < hw; i++ {
+				vals[base+i] = quantizeOne(x.Data[base+i], sc)
+			}
+		}
+	}
+}
+
+func quantizeOne(v, sc float32) int8 {
+	f := float64(v) * float64(sc) * 128
+	var q int32
+	if f >= 0 {
+		q = int32(f + 0.5)
+	} else {
+		q = int32(f - 0.5)
+	}
+	// Casting saturates rather than truncating (§III-B).
+	if q > 127 {
+		q = 127
+	}
+	if q < -128 {
+		q = -128
+	}
+	return int8(q)
+}
+
+// Decompress reconstructs the activation from c.
+func Decompress(c *Compressed) *tensor.Tensor {
+	out := tensor.New(c.Shape.N, c.Shape.C, c.Shape.H, c.Shape.W)
+	DequantizeInto(c.Values, c.Scales, out)
+	return out
+}
+
+// DequantizeInto writes the float recovery of vals into x using the
+// inverse scales (backward-pass path of the SFPR unit).
+func DequantizeInto(vals []int8, scales []float32, x *tensor.Tensor) {
+	sh := x.Shape
+	hw := sh.H * sh.W
+	for n := 0; n < sh.N; n++ {
+		for c := 0; c < sh.C; c++ {
+			var inv float32
+			if scales[c] != 0 {
+				inv = 1 / (scales[c] * 128)
+			}
+			base := (n*sh.C + c) * hw
+			for i := 0; i < hw; i++ {
+				x.Data[base+i] = float32(vals[base+i]) * inv
+			}
+		}
+	}
+}
+
+// Roundtrip compresses and immediately decompresses x, the functional
+// simulation of storing the activation through the SFPR path.
+func Roundtrip(x *tensor.Tensor, s float64) (*tensor.Tensor, int) {
+	c := Compress(x, s)
+	return Decompress(c), c.Bytes()
+}
+
+// RangeUtilization returns the average (over non-empty channels) fraction
+// of the 256 integer code points actually used, the metric behind the
+// paper's DPR-vs-SFPR accuracy analysis (§VI-B: 15% for DPR vs 66% for
+// SFPR on small-range channels).
+func RangeUtilization(vals []int8, sh tensor.Shape) float64 {
+	hw := sh.H * sh.W
+	var total float64
+	channels := 0
+	for c := 0; c < sh.C; c++ {
+		used := map[int8]bool{}
+		any := false
+		for n := 0; n < sh.N; n++ {
+			base := (n*sh.C + c) * hw
+			for i := 0; i < hw; i++ {
+				v := vals[base+i]
+				used[v] = true
+				if v != 0 {
+					any = true
+				}
+			}
+		}
+		if !any {
+			continue
+		}
+		total += float64(len(used)) / 256
+		channels++
+	}
+	if channels == 0 {
+		return 0
+	}
+	return total / float64(channels)
+}
+
+// Minifloat describes a reduced-precision float format (DPR). The format
+// is IEEE-like: 1 sign bit, ExpBits exponent bits with bias
+// 2^(ExpBits-1)-1, ManBits mantissa bits, subnormals, saturating overflow.
+type Minifloat struct {
+	ExpBits uint
+	ManBits uint
+}
+
+// FP16 is the IEEE half-precision format used by 16-bit DPR.
+var FP16 = Minifloat{ExpBits: 5, ManBits: 10}
+
+// FP8 is the e4m3 format used by 8-bit DPR.
+var FP8 = Minifloat{ExpBits: 4, ManBits: 3}
+
+// Bits returns the total width of the format.
+func (m Minifloat) Bits() int { return int(1 + m.ExpBits + m.ManBits) }
+
+// Quantize rounds v to the nearest representable value of the format,
+// i.e. the value recovered after an encode/decode roundtrip.
+func (m Minifloat) Quantize(v float32) float32 {
+	if v == 0 || math.IsNaN(float64(v)) {
+		return v
+	}
+	bias := float64(int(1)<<(m.ExpBits-1) - 1)
+	maxExp := float64(int(1)<<m.ExpBits - 2)
+	f := float64(v)
+	sign := 1.0
+	if f < 0 {
+		sign = -1
+		f = -f
+	}
+	exp := math.Floor(math.Log2(f))
+	e := exp + bias
+	scale := float64(int64(1) << m.ManBits)
+	if e < 1 {
+		// Subnormal: fixed quantum 2^(1-bias-ManBits).
+		quantum := math.Pow(2, 1-bias) / scale
+		q := math.Round(f / quantum)
+		return float32(sign * q * quantum)
+	}
+	maxVal := math.Pow(2, maxExp-bias) * (2 - 1/scale)
+	if e > maxExp {
+		return float32(sign * maxVal) // saturate to the largest normal
+	}
+	quantum := math.Pow(2, exp) / scale
+	r := math.Round(f/quantum) * quantum
+	if r > maxVal {
+		r = maxVal // rounding pushed past the top binade
+	}
+	return float32(sign * r)
+}
+
+// DPR casts every element of x through the minifloat format and back,
+// the functional simulation of GIST's precision reduction.
+func DPR(x *tensor.Tensor, m Minifloat) *tensor.Tensor {
+	out := tensor.NewLike(x)
+	for i, v := range x.Data {
+		out.Data[i] = m.Quantize(v)
+	}
+	return out
+}
+
+// DPRInt8Codes returns the 8-bit codes GIST stores for x under 8-bit DPR
+// (used for sparsity/size accounting by CSR). A code is zero iff the
+// quantized value is zero.
+func DPRInt8Codes(x *tensor.Tensor, m Minifloat) []int8 {
+	out := make([]int8, x.Elems())
+	for i, v := range x.Data {
+		q := m.Quantize(v)
+		if q != 0 {
+			// The exact bit pattern is irrelevant for size accounting; any
+			// non-zero sentinel preserves the CSR/ZVC footprint.
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// BFP applies block floating point with the given mantissa bits: each
+// channel shares a power-of-two exponent covering its max magnitude and
+// stores signed fixed-point mantissas.
+func BFP(x *tensor.Tensor, manBits uint) *tensor.Tensor {
+	sh := x.Shape
+	out := tensor.NewLike(x)
+	maxes := x.ChannelMaxAbs()
+	hw := sh.H * sh.W
+	half := float64(int32(1) << (manBits - 1))
+	for c := 0; c < sh.C; c++ {
+		if maxes[c] == 0 {
+			continue
+		}
+		exp := math.Ceil(math.Log2(float64(maxes[c])))
+		scale := math.Pow(2, exp)
+		for n := 0; n < sh.N; n++ {
+			base := (n*sh.C + c) * hw
+			for i := 0; i < hw; i++ {
+				f := float64(x.Data[base+i]) / scale * half
+				q := math.Round(f)
+				if q > half-1 {
+					q = half - 1
+				}
+				if q < -half {
+					q = -half
+				}
+				out.Data[base+i] = float32(q / half * scale)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+// Package tensor provides the dense NCHW float32 tensor type used
+// throughout the JPEG-ACT reproduction: activations, weights, and
+// gradients are all Tensors.
+//
+// The layout is always batch-major NCHW (batch, channel, height, width),
+// the layout the paper assumes for activation offload (§III-C). A Tensor
+// of lower rank is represented by setting the leading dimensions to 1,
+// e.g. a bias vector of C elements is (1, C, 1, 1).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape describes the four NCHW dimensions of a Tensor.
+type Shape struct {
+	N, C, H, W int
+}
+
+// Elems returns the total number of elements implied by the shape.
+func (s Shape) Elems() int { return s.N * s.C * s.H * s.W }
+
+// Valid reports whether every dimension is positive.
+func (s Shape) Valid() bool { return s.N > 0 && s.C > 0 && s.H > 0 && s.W > 0 }
+
+func (s Shape) String() string {
+	return fmt.Sprintf("(%d,%d,%d,%d)", s.N, s.C, s.H, s.W)
+}
+
+// Tensor is a dense float32 tensor in NCHW layout. The zero value is an
+// empty tensor; use New or FromSlice to create a usable one.
+type Tensor struct {
+	Shape Shape
+	Data  []float32
+}
+
+// New allocates a zero-filled tensor of the given shape.
+func New(n, c, h, w int) *Tensor {
+	s := Shape{n, c, h, w}
+	if !s.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", s))
+	}
+	return &Tensor{Shape: s, Data: make([]float32, s.Elems())}
+}
+
+// NewLike allocates a zero-filled tensor with the same shape as t.
+func NewLike(t *Tensor) *Tensor {
+	return New(t.Shape.N, t.Shape.C, t.Shape.H, t.Shape.W)
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); its length must match the shape.
+func FromSlice(data []float32, n, c, h, w int) *Tensor {
+	s := Shape{n, c, h, w}
+	if len(data) != s.Elems() {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), s))
+	}
+	return &Tensor{Shape: s, Data: data}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: t.Shape, Data: make([]float32, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// At returns the element at (n, c, h, w).
+func (t *Tensor) At(n, c, h, w int) float32 {
+	return t.Data[t.Index(n, c, h, w)]
+}
+
+// Set stores v at (n, c, h, w).
+func (t *Tensor) Set(n, c, h, w int, v float32) {
+	t.Data[t.Index(n, c, h, w)] = v
+}
+
+// Index returns the flat offset of element (n, c, h, w).
+func (t *Tensor) Index(n, c, h, w int) int {
+	s := t.Shape
+	return ((n*s.C+c)*s.H+h)*s.W + w
+}
+
+// Elems returns the number of elements in t.
+func (t *Tensor) Elems() int { return len(t.Data) }
+
+// Bytes returns the uncompressed size of t in bytes (float32 storage).
+func (t *Tensor) Bytes() int { return 4 * len(t.Data) }
+
+// Reshape returns a view of t with a new shape holding the same number of
+// elements. The underlying data is shared, mirroring the zero-copy
+// NCH×W reshape the paper uses for padding (§III-C).
+func (t *Tensor) Reshape(n, c, h, w int) *Tensor {
+	s := Shape{n, c, h, w}
+	if s.Elems() != t.Elems() {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v changes element count", t.Shape, s))
+	}
+	return &Tensor{Shape: s, Data: t.Data}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal element count.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(src.Data) != len(t.Data) {
+		panic("tensor: CopyFrom size mismatch")
+	}
+	copy(t.Data, src.Data)
+}
+
+// Add accumulates other into t elementwise.
+func (t *Tensor) Add(other *Tensor) {
+	if len(other.Data) != len(t.Data) {
+		panic("tensor: Add size mismatch")
+	}
+	for i, v := range other.Data {
+		t.Data[i] += v
+	}
+}
+
+// AddScaled accumulates alpha*other into t elementwise.
+func (t *Tensor) AddScaled(alpha float32, other *Tensor) {
+	if len(other.Data) != len(t.Data) {
+		panic("tensor: AddScaled size mismatch")
+	}
+	for i, v := range other.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (t *Tensor) Scale(alpha float32) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// MaxAbs returns the maximum absolute value over all elements.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ChannelMaxAbs returns, for each channel c, max over n,h,w of |x[n,c,h,w]|.
+// This is the per-channel maximum used by SFPR's scaling factor (Eqn. 4).
+func (t *Tensor) ChannelMaxAbs() []float32 {
+	s := t.Shape
+	out := make([]float32, s.C)
+	hw := s.H * s.W
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			base := (n*s.C + c) * hw
+			m := out[c]
+			for i := 0; i < hw; i++ {
+				v := t.Data[base+i]
+				if v < 0 {
+					v = -v
+				}
+				if v > m {
+					m = v
+				}
+			}
+			out[c] = m
+		}
+	}
+	return out
+}
+
+// Sparsity returns the fraction of exactly-zero elements.
+func (t *Tensor) Sparsity() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	zeros := 0
+	for _, v := range t.Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	return float64(zeros) / float64(len(t.Data))
+}
+
+// L2Error returns the average per-element L2 error between a and b:
+// |a-b|_2 / numElements, the metric of Eqn. 10.
+func L2Error(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic("tensor: L2Error size mismatch")
+	}
+	var sum float64
+	for i := range a.Data {
+		d := float64(a.Data[i] - b.Data[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum) / float64(len(a.Data))
+}
+
+// MSE returns the mean squared error between a and b.
+func MSE(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic("tensor: MSE size mismatch")
+	}
+	var sum float64
+	for i := range a.Data {
+		d := float64(a.Data[i] - b.Data[i])
+		sum += d * d
+	}
+	return sum / float64(len(a.Data))
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	var sum float64
+	for _, v := range t.Data {
+		sum += float64(v)
+	}
+	return sum / float64(len(t.Data))
+}
+
+// Std returns the population standard deviation of all elements.
+func (t *Tensor) Std() float64 {
+	m := t.Mean()
+	var sum float64
+	for _, v := range t.Data {
+		d := float64(v) - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(t.Data)))
+}

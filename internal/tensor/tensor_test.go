@@ -1,0 +1,276 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeElems(t *testing.T) {
+	s := Shape{2, 3, 4, 5}
+	if got := s.Elems(); got != 120 {
+		t.Fatalf("Elems = %d, want 120", got)
+	}
+	if !s.Valid() {
+		t.Fatal("shape should be valid")
+	}
+	if (Shape{0, 1, 1, 1}).Valid() {
+		t.Fatal("zero dim should be invalid")
+	}
+}
+
+func TestNewAndIndex(t *testing.T) {
+	x := New(2, 3, 4, 5)
+	if x.Elems() != 120 {
+		t.Fatalf("Elems = %d", x.Elems())
+	}
+	if x.Bytes() != 480 {
+		t.Fatalf("Bytes = %d", x.Bytes())
+	}
+	x.Set(1, 2, 3, 4, 7)
+	if x.At(1, 2, 3, 4) != 7 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	// Last element index must be Elems-1.
+	if x.Index(1, 2, 3, 4) != 119 {
+		t.Fatalf("Index = %d, want 119", x.Index(1, 2, 3, 4))
+	}
+}
+
+func TestIndexIsRowMajorNCHW(t *testing.T) {
+	x := New(2, 2, 2, 2)
+	want := 0
+	for n := 0; n < 2; n++ {
+		for c := 0; c < 2; c++ {
+			for h := 0; h < 2; h++ {
+				for w := 0; w < 2; w++ {
+					if got := x.Index(n, c, h, w); got != want {
+						t.Fatalf("Index(%d,%d,%d,%d)=%d, want %d", n, c, h, w, got, want)
+					}
+					want++
+				}
+			}
+		}
+	}
+}
+
+func TestInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid shape")
+		}
+	}()
+	New(0, 1, 1, 1)
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	FromSlice(make([]float32, 3), 1, 1, 2, 2)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := New(1, 1, 2, 2)
+	x.Fill(3)
+	y := x.Clone()
+	y.Data[0] = 99
+	if x.Data[0] != 3 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 3, 4, 4)
+	y := x.Reshape(1, 1, 24, 4)
+	y.Data[5] = 42
+	if x.Data[5] != 42 {
+		t.Fatal("Reshape must share data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad reshape")
+		}
+	}()
+	x.Reshape(1, 1, 1, 7)
+}
+
+func TestArithmetic(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	y := FromSlice([]float32{10, 20, 30, 40}, 1, 1, 2, 2)
+	x.Add(y)
+	if x.Data[3] != 44 {
+		t.Fatalf("Add: got %v", x.Data)
+	}
+	x.AddScaled(0.5, y)
+	if x.Data[0] != 16 {
+		t.Fatalf("AddScaled: got %v", x.Data)
+	}
+	x.Scale(2)
+	if x.Data[0] != 32 {
+		t.Fatalf("Scale: got %v", x.Data)
+	}
+}
+
+func TestMaxAbsAndChannelMaxAbs(t *testing.T) {
+	x := New(2, 2, 1, 2)
+	// n0c0: {1,-5}, n0c1: {2,0}, n1c0: {0,3}, n1c1: {-7,1}
+	copy(x.Data, []float32{1, -5, 2, 0, 0, 3, -7, 1})
+	if x.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs = %v", x.MaxAbs())
+	}
+	cm := x.ChannelMaxAbs()
+	if cm[0] != 5 || cm[1] != 7 {
+		t.Fatalf("ChannelMaxAbs = %v, want [5 7]", cm)
+	}
+}
+
+func TestSparsity(t *testing.T) {
+	x := FromSlice([]float32{0, 1, 0, 2}, 1, 1, 1, 4)
+	if got := x.Sparsity(); got != 0.5 {
+		t.Fatalf("Sparsity = %v", got)
+	}
+}
+
+func TestErrorsAndStats(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 1, 1, 1, 4)
+	b := FromSlice([]float32{1, 2, 3, 8}, 1, 1, 1, 4)
+	if got := MSE(a, b); got != 4 {
+		t.Fatalf("MSE = %v", got)
+	}
+	if got := L2Error(a, b); got != 1 {
+		t.Fatalf("L2Error = %v", got)
+	}
+	if got := a.Mean(); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := a.Std(); math.Abs(got-math.Sqrt(1.25)) > 1e-9 {
+		t.Fatalf("Std = %v", got)
+	}
+}
+
+func TestPadForBlocksAligned(t *testing.T) {
+	x := New(1, 2, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	padded, info := PadForBlocks(x, 8)
+	if info.PadRows != 0 || info.PadCols != 0 {
+		t.Fatalf("aligned tensor should need no padding, got %+v", info)
+	}
+	if info.Overhead() != 0 {
+		t.Fatalf("Overhead = %v", info.Overhead())
+	}
+	y := UnpadFromBlocks(padded, info)
+	for i := range x.Data {
+		if x.Data[i] != y.Data[i] {
+			t.Fatalf("roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestPadForBlocksUnaligned(t *testing.T) {
+	// 5x1x6x6 example from Fig. 12a: rows=30 -> pad 2, cols=6 -> pad 2.
+	x := New(5, 1, 6, 6)
+	r := NewRNG(1)
+	x.FillNormal(r, 0, 1)
+	padded, info := PadForBlocks(x, 8)
+	if info.BlockRows != 32 || info.BlockCols != 8 {
+		t.Fatalf("got %dx%d, want 32x8", info.BlockRows, info.BlockCols)
+	}
+	if len(padded) != 256 {
+		t.Fatalf("padded len = %d", len(padded))
+	}
+	// Padding elements must be zero.
+	for r := 0; r < info.BlockRows; r++ {
+		for c := 6; c < 8; c++ {
+			if padded[r*8+c] != 0 {
+				t.Fatalf("pad col not zero at (%d,%d)", r, c)
+			}
+		}
+	}
+	y := UnpadFromBlocks(padded, info)
+	for i := range x.Data {
+		if x.Data[i] != y.Data[i] {
+			t.Fatalf("roundtrip mismatch at %d", i)
+		}
+	}
+	if info.Overhead() <= 0 {
+		t.Fatalf("expected positive overhead, got %v", info.Overhead())
+	}
+}
+
+func TestPadRoundtripProperty(t *testing.T) {
+	r := NewRNG(7)
+	f := func(n, c, h, w uint8) bool {
+		sh := Shape{int(n%4) + 1, int(c%4) + 1, int(h%12) + 1, int(w%12) + 1}
+		x := New(sh.N, sh.C, sh.H, sh.W)
+		x.FillNormal(r, 0, 2)
+		padded, info := PadForBlocks(x, 8)
+		if info.BlockRows%8 != 0 || info.BlockCols%8 != 0 {
+			return false
+		}
+		y := UnpadFromBlocks(padded, info)
+		for i := range x.Data {
+			if x.Data[i] != y.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Fatal("zero seed must be remapped")
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(3)
+	n := 20000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("norm mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.08 {
+		t.Fatalf("norm variance = %v", variance)
+	}
+}
+
+func TestFillHe(t *testing.T) {
+	x := New(1, 1, 100, 100)
+	x.FillHe(NewRNG(5), 50)
+	std := x.Std()
+	want := math.Sqrt(2.0 / 50.0)
+	if math.Abs(std-want)/want > 0.1 {
+		t.Fatalf("He std = %v, want ~%v", std, want)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}

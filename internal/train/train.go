@@ -1,0 +1,305 @@
+// Package train runs CNN training with activation compression injected
+// exactly as the paper's functional simulation does: after each forward
+// pass, every saved activation is replaced by its compressed-recovered
+// version (or by a BRC mask) before the backward pass reads it, so the
+// approximate weight gradient of Eqn. 8 — and any resulting accuracy
+// change or divergence — emerges naturally.
+package train
+
+import (
+	"math"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/data"
+	"jpegact/internal/models"
+	"jpegact/internal/nn"
+	"jpegact/internal/tensor"
+)
+
+// Config parameterizes a training run.
+type Config struct {
+	Method          compress.Method
+	Epochs          int
+	BatchesPerEpoch int
+	BatchSize       int
+	LR              float64
+	Momentum        float64
+	WeightDecay     float64
+	Seed            uint64
+	// MeasureError also records the mean recovered-activation L2 error
+	// per epoch (costs one clone per saved activation).
+	MeasureError bool
+	// LRDecayEpochs lists epochs at whose start the learning rate is
+	// multiplied by LRDecayFactor (default 0.1) — the standard step
+	// schedule the paper's training recipes use.
+	LRDecayEpochs []int
+	LRDecayFactor float64
+	// Optimizer selects the update rule: "sgd" (default), "nesterov" or
+	// "adam".
+	Optimizer string
+}
+
+// newOptimizer builds the configured optimizer. The step-decay schedule
+// only applies to the SGD variants (Adam adapts its own step sizes).
+func (c Config) newOptimizer() nn.Optimizer {
+	switch c.Optimizer {
+	case "", "sgd":
+		return nn.NewSGD(c.LR, c.Momentum, c.WeightDecay)
+	case "nesterov":
+		return nn.NewNesterov(c.LR, c.Momentum, c.WeightDecay)
+	case "adam":
+		a := nn.NewAdam(c.LR)
+		a.WeightDecay = c.WeightDecay
+		return a
+	}
+	panic("train: unknown optimizer " + c.Optimizer)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Method == nil {
+		c.Method = compress.Baseline{}
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 3
+	}
+	if c.BatchesPerEpoch == 0 {
+		c.BatchesPerEpoch = 8
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.WeightDecay == 0 {
+		c.WeightDecay = 1e-4
+	}
+	return c
+}
+
+// EpochStats records one epoch of training under compression.
+type EpochStats struct {
+	Epoch            int
+	Loss             float64
+	Score            float64 // validation accuracy (Classify) or PSNR (SuperRes)
+	CompressionRatio float64 // weighted over all saved activations
+	ActL2Error       float64 // mean recovered-activation error (if measured)
+}
+
+// FootprintEntry aggregates offload bytes for one activation kind.
+type FootprintEntry struct {
+	Kind            compress.Kind
+	OriginalBytes   int
+	CompressedBytes int
+}
+
+// Report summarizes a full training run.
+type Report struct {
+	ModelName  string
+	MethodName string
+	Epochs     []EpochStats
+	BestScore  float64
+	FinalRatio float64
+	Diverged   bool
+	// Footprint is the per-kind byte breakdown from the final epoch
+	// (the Fig. 19 data).
+	Footprint []FootprintEntry
+}
+
+// compressRefs applies the method to every unique saved activation and
+// returns (origBytes, compBytes, sumL2, countL2, footprint).
+func compressRefs(refs []*nn.ActRef, m compress.Method, epoch int, measure bool) (int, int, float64, int, map[compress.Kind]*FootprintEntry) {
+	seen := map[*nn.ActRef]bool{}
+	orig, comp := 0, 0
+	var sumErr float64
+	nErr := 0
+	foot := map[compress.Kind]*FootprintEntry{}
+	for _, ref := range refs {
+		if seen[ref] || ref.T == nil {
+			continue
+		}
+		seen[ref] = true
+		var before *tensor.Tensor
+		if measure {
+			before = ref.T.Clone()
+		}
+		res := m.Compress(ref.T, ref.Kind, epoch)
+		ref.OriginalBytes = res.OriginalBytes
+		ref.CompressedBytes = res.CompressedBytes
+		orig += res.OriginalBytes
+		comp += res.CompressedBytes
+		fe := foot[ref.Kind]
+		if fe == nil {
+			fe = &FootprintEntry{Kind: ref.Kind}
+			foot[ref.Kind] = fe
+		}
+		fe.OriginalBytes += res.OriginalBytes
+		fe.CompressedBytes += res.CompressedBytes
+		if res.Mask != nil {
+			ref.Mask = res.Mask
+			ref.T = nil
+		} else {
+			if measure && res.Recovered != nil {
+				sumErr += tensor.L2Error(before, res.Recovered)
+				nErr++
+			}
+			ref.T = res.Recovered
+		}
+	}
+	return orig, comp, sumErr, nErr, foot
+}
+
+// maybeDecay applies the step LR schedule at the start of an epoch (SGD
+// and Nesterov only).
+func maybeDecay(cfg Config, opt nn.Optimizer, epoch int) {
+	factor := cfg.LRDecayFactor
+	if factor == 0 {
+		factor = 0.1
+	}
+	for _, e := range cfg.LRDecayEpochs {
+		if e != epoch {
+			continue
+		}
+		switch o := opt.(type) {
+		case *nn.SGD:
+			o.LR *= factor
+		case *nn.Nesterov:
+			o.LR *= factor
+		}
+	}
+}
+
+// Classifier trains a classification model on the synthetic dataset and
+// returns the per-epoch statistics.
+func Classifier(m *models.Model, ds *data.Classification, cfg Config) Report {
+	cfg = cfg.withDefaults()
+	rep := Report{ModelName: m.Name, MethodName: cfg.Method.Name()}
+	opt := cfg.newOptimizer()
+
+	valX, valY := ds.Batch(cfg.BatchSize * 8)
+
+	var footprint map[compress.Kind]*FootprintEntry
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		maybeDecay(cfg, opt, epoch)
+		var epochLoss, errSum float64
+		var origSum, compSum, errN int
+		for b := 0; b < cfg.BatchesPerEpoch; b++ {
+			x, labels := ds.Batch(cfg.BatchSize)
+			out := m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: x}, true)
+			loss, grad := nn.SoftmaxCrossEntropy(out.T, labels)
+			epochLoss += loss
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				rep.Diverged = true
+				return rep
+			}
+			o, c, es, en, foot := compressRefs(m.Net.SavedRefs(), cfg.Method, epoch, cfg.MeasureError)
+			origSum += o
+			compSum += c
+			errSum += es
+			errN += en
+			footprint = foot
+			m.Net.Backward(grad)
+			opt.Step(m.Net.Params())
+		}
+		stats := EpochStats{
+			Epoch: epoch,
+			Loss:  epochLoss / float64(cfg.BatchesPerEpoch),
+		}
+		if compSum > 0 {
+			stats.CompressionRatio = float64(origSum) / float64(compSum)
+		}
+		if errN > 0 {
+			stats.ActL2Error = errSum / float64(errN)
+		}
+		valOut := m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: valX}, false)
+		stats.Score = nn.Accuracy(valOut.T, valY)
+		if nn.NaNGuard(valOut.T) {
+			rep.Diverged = true
+			rep.Epochs = append(rep.Epochs, stats)
+			return rep
+		}
+		rep.Epochs = append(rep.Epochs, stats)
+		if stats.Score > rep.BestScore {
+			rep.BestScore = stats.Score
+		}
+		rep.FinalRatio = stats.CompressionRatio
+	}
+	rep.Footprint = sortedFootprint(footprint)
+	return rep
+}
+
+// SuperResolution trains the VDSR model on synthetic pairs, scoring PSNR.
+func SuperResolution(m *models.Model, ds *data.SuperRes, cfg Config) Report {
+	cfg = cfg.withDefaults()
+	rep := Report{ModelName: m.Name, MethodName: cfg.Method.Name()}
+	opt := cfg.newOptimizer()
+
+	valIn, valTgt := ds.Pair(cfg.BatchSize * 2)
+
+	var footprint map[compress.Kind]*FootprintEntry
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		maybeDecay(cfg, opt, epoch)
+		var epochLoss, errSum float64
+		var origSum, compSum, errN int
+		for b := 0; b < cfg.BatchesPerEpoch; b++ {
+			in, tgt := ds.Pair(cfg.BatchSize)
+			out := m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: in}, true)
+			loss, grad := nn.MSELoss(out.T, tgt)
+			epochLoss += loss
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				rep.Diverged = true
+				return rep
+			}
+			o, c, es, en, foot := compressRefs(m.Net.SavedRefs(), cfg.Method, epoch, cfg.MeasureError)
+			origSum += o
+			compSum += c
+			errSum += es
+			errN += en
+			footprint = foot
+			m.Net.Backward(grad)
+			opt.Step(m.Net.Params())
+		}
+		stats := EpochStats{Epoch: epoch, Loss: epochLoss / float64(cfg.BatchesPerEpoch)}
+		if compSum > 0 {
+			stats.CompressionRatio = float64(origSum) / float64(compSum)
+		}
+		if errN > 0 {
+			stats.ActL2Error = errSum / float64(errN)
+		}
+		valOut := m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: valIn}, false)
+		stats.Score = data.PSNR(valOut.T, valTgt)
+		if nn.NaNGuard(valOut.T) {
+			rep.Diverged = true
+			rep.Epochs = append(rep.Epochs, stats)
+			return rep
+		}
+		rep.Epochs = append(rep.Epochs, stats)
+		if stats.Score > rep.BestScore {
+			rep.BestScore = stats.Score
+		}
+		rep.FinalRatio = stats.CompressionRatio
+	}
+	rep.Footprint = sortedFootprint(footprint)
+	return rep
+}
+
+func sortedFootprint(m map[compress.Kind]*FootprintEntry) []FootprintEntry {
+	var out []FootprintEntry
+	for _, k := range []compress.Kind{compress.KindConv, compress.KindReLUToConv, compress.KindReLUToOther, compress.KindPoolDropout} {
+		if fe, ok := m[k]; ok {
+			out = append(out, *fe)
+		}
+	}
+	return out
+}
+
+// Run dispatches on the model's task.
+func Run(m *models.Model, cls *data.Classification, sr *data.SuperRes, cfg Config) Report {
+	if m.Task == models.SuperRes {
+		return SuperResolution(m, sr, cfg)
+	}
+	return Classifier(m, cls, cfg)
+}

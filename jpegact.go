@@ -1,0 +1,266 @@
+// Package jpegact is a Go reproduction of "JPEG-ACT: Accelerating Deep
+// Learning via Transform-based Lossy Compression" (Evans, Liu, Aamodt —
+// ISCA 2020): lossy activation-offload compression for CNN training built
+// from SFPR fixed-point reduction, an 8×8 LLM DCT, shift quantization
+// with CNN-optimized quantization tables, and zero-value coding.
+//
+// This root package is the public API. It re-exports the building blocks
+// and offers one-call entry points:
+//
+//   - compression methods: Baseline, CDMAPlus, GIST, SFPR, JPEGBase,
+//     JPEGACT (Table I of the paper);
+//   - CompressActivation / the Method interface for compressing NCHW
+//     activation tensors by activation kind (Table II policy built in);
+//   - TrainClassifier / TrainSuperRes to train the bundled mini networks
+//     under any compression method;
+//   - OptimizeDQT, the §IV quantization-table optimizer;
+//   - SimulateOffload and the gpusim schemes for performance studies;
+//   - RunExperiment to regenerate any table or figure of the paper.
+//
+// The heavy lifting lives in internal/ packages; see DESIGN.md for the
+// full system inventory.
+package jpegact
+
+import (
+	"io"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/data"
+	"jpegact/internal/dqtopt"
+	"jpegact/internal/experiments"
+	"jpegact/internal/gpusim"
+	"jpegact/internal/models"
+	"jpegact/internal/quant"
+	"jpegact/internal/sfpr"
+	"jpegact/internal/tensor"
+	"jpegact/internal/train"
+)
+
+// Tensor is a dense float32 NCHW activation tensor.
+type Tensor = tensor.Tensor
+
+// Shape is a tensor's NCHW dimensions.
+type Shape = tensor.Shape
+
+// NewTensor allocates a zero tensor.
+func NewTensor(n, c, h, w int) *Tensor { return tensor.New(n, c, h, w) }
+
+// FromSlice wraps a float32 slice as an NCHW tensor (no copy).
+func FromSlice(vals []float32, n, c, h, w int) *Tensor {
+	return tensor.FromSlice(vals, n, c, h, w)
+}
+
+// Kind classifies an activation for the Table II compression policy.
+type Kind = compress.Kind
+
+// Activation kinds.
+const (
+	KindConv        = compress.KindConv
+	KindReLUToOther = compress.KindReLUToOther
+	KindReLUToConv  = compress.KindReLUToConv
+	KindPoolDropout = compress.KindPoolDropout
+)
+
+// Method is an activation-compression scheme.
+type Method = compress.Method
+
+// Result is the outcome of compressing one activation.
+type Result = compress.Result
+
+// DQT is an 8×8 Discrete Quantization Table.
+type DQT = quant.DQT
+
+// Schedule is a per-epoch DQT selection (e.g. the piece-wise optL5H).
+type Schedule = quant.Schedule
+
+// DefaultS is the SFPR global scaling factor selected by the paper.
+const DefaultS = sfpr.DefaultS
+
+// Baseline returns the uncompressed (vDNN-style) method.
+func Baseline() Method { return compress.Baseline{} }
+
+// CDMAPlus returns the DMA-side ZVC method (lossless).
+func CDMAPlus() Method { return compress.CDMAPlus{} }
+
+// GIST returns the DPR+BRC+CSR method of Jain et al.
+func GIST() Method { return compress.GIST{} }
+
+// SFPR returns Scaled Fix-point Precision Reduction alone (4×).
+func SFPR() Method { return compress.SFPROnly{} }
+
+// JPEGBase returns JPEG-BASE with a stock image DQT at the given quality
+// (e.g. 80 or 60).
+func JPEGBase(quality int) Method {
+	return compress.NewJPEGBase(quant.JPEGQuality(quality))
+}
+
+// JPEGACT returns the shipped JPEG-ACT configuration: the SH+ZVC back end
+// with the piece-wise optL5H DQT schedule.
+func JPEGACT() Method { return compress.NewJPEGAct(quant.OptL5H()) }
+
+// JPEGACTWith returns JPEG-ACT with a custom DQT schedule.
+func JPEGACTWith(s Schedule) Method { return compress.NewJPEGAct(s) }
+
+// GIST16 returns the 16-bit DPR GIST variant (half the compression,
+// much lower quantization error).
+func GIST16() Method { return compress.GIST16() }
+
+// BFP returns the block-floating-point baseline with the given mantissa
+// width (0 = 10 bits).
+func BFP(manBits uint) Method { return compress.BFPMethod{ManBits: manBits} }
+
+// HardwareJPEGACT returns JPEG-ACT backed by the cycle-counted CDU
+// datapath model (fixed-point DCT, collector/splitter packets) instead of
+// the float functional pipeline — for verifying hardware-equivalent
+// training behaviour and accounting CDU cycles.
+func HardwareJPEGACT(s Schedule, nCDU int) Method {
+	return compress.NewHardwareJPEGACT(s, nCDU)
+}
+
+// OptL and OptH return the optimized low/high-compression DQTs; FixedDQT
+// and OptL5H build schedules from them.
+func OptL() DQT                { return quant.OptL() }
+func OptH() DQT                { return quant.OptH() }
+func FixedDQT(d DQT) Schedule  { return quant.Fixed(d) }
+func OptL5H() Schedule         { return quant.OptL5H() }
+func JPEGQualityDQT(q int) DQT { return quant.JPEGQuality(q) }
+
+// Methods returns the Table I method set in paper order.
+func Methods() []Method { return compress.Standard() }
+
+// CompressActivation compresses x as an activation of the given kind at
+// the given training epoch, returning the lossy recovered tensor (or BRC
+// mask) and the byte accounting.
+func CompressActivation(m Method, x *Tensor, kind Kind, epoch int) Result {
+	return m.Compress(x, kind, epoch)
+}
+
+// TrainConfig configures a training run (see internal/train.Config).
+type TrainConfig = train.Config
+
+// TrainReport summarizes a training run under compression.
+type TrainReport = train.Report
+
+// ModelScale sizes the bundled mini networks.
+type ModelScale = models.Scale
+
+// TrainClassifier trains a mini network by name ("VGG", "ResNet18",
+// "ResNet50", "ResNet101", "WRN", "MobileNet") on the synthetic
+// classification set.
+func TrainClassifier(model string, sc ModelScale, cfg TrainConfig, seed uint64) TrainReport {
+	rng := tensor.NewRNG(seed)
+	var m *models.Model
+	switch model {
+	case "VGG":
+		m = models.VGG(sc, 4, rng)
+	case "ResNet18":
+		m = models.ResNet18(sc, 4, rng)
+	case "ResNet50":
+		m = models.ResNet50(sc, 4, rng)
+	case "ResNet101":
+		m = models.ResNet101(sc, 4, rng)
+	case "WRN":
+		m = models.WRN(sc, 4, rng)
+	case "MobileNet":
+		m = models.MobileNet(sc, 4, rng)
+	default:
+		panic("jpegact: unknown model " + model)
+	}
+	ds := data.NewClassification(data.ClassificationConfig{
+		Classes: 4, Channels: 3, H: m.H, W: m.W, Noise: 0.4, Seed: seed,
+	})
+	return train.Classifier(m, ds, cfg)
+}
+
+// TrainSuperRes trains the mini VDSR on synthetic super-resolution pairs.
+func TrainSuperRes(sc ModelScale, cfg TrainConfig, seed uint64) TrainReport {
+	m := models.VDSR(sc, tensor.NewRNG(seed))
+	ds := data.NewSuperRes(m.H, m.W, seed)
+	return train.SuperResolution(m, ds, cfg)
+}
+
+// DQTOptimizerConfig configures OptimizeDQT (see internal/dqtopt.Config).
+type DQTOptimizerConfig = dqtopt.Config
+
+// OptimizeDQT runs the §IV optimization from seed on sample activations.
+func OptimizeDQT(seed DQT, samples []*Tensor, cfg DQTOptimizerConfig) (DQT, []dqtopt.Point) {
+	r := dqtopt.Optimize(seed, samples, cfg)
+	return r.DQT, r.Trace
+}
+
+// PlatformConfig is the simulated GPU platform.
+type PlatformConfig = gpusim.Config
+
+// TitanV returns the paper's platform with n CDUs.
+func TitanV(nCDU int) PlatformConfig { return gpusim.TitanV(nCDU) }
+
+// OffloadScheme is a performance-model offload method.
+type OffloadScheme = gpusim.Scheme
+
+// Offload schemes for SimulateOffload.
+func SchemeVDNN() OffloadScheme { return gpusim.VDNN() }
+func SchemeCDMA() OffloadScheme { return gpusim.CDMAPlus() }
+func SchemeGIST() OffloadScheme { return gpusim.GIST() }
+func SchemeSFPR() OffloadScheme { return gpusim.SFPROnly() }
+func SchemeJPEGACT() OffloadScheme {
+	return gpusim.JPEGAct(gpusim.JPEGActDefaultRatios())
+}
+
+// SimulateOffload returns the speedup of the scheme over vDNN on the
+// named CNR microbenchmark (see gpusim.Workloads for names).
+func SimulateOffload(workload string, s OffloadScheme, cfg PlatformConfig) (float64, bool) {
+	for _, w := range gpusim.Workloads() {
+		if w.Name == workload {
+			return gpusim.Relative(w, s, cfg), true
+		}
+	}
+	return 0, false
+}
+
+// WorkloadNames lists the available microbenchmarks.
+func WorkloadNames() []string {
+	var out []string
+	for _, w := range gpusim.Workloads() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// ExperimentOptions controls experiment scale.
+type ExperimentOptions = experiments.Options
+
+// ExperimentResult is one regenerated table/figure.
+type ExperimentResult = experiments.Result
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// (fig1b, fig2, fig6, fig10, fig16, fig17, fig18, fig19, fig20, fig21,
+// table1..table5).
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentResult, error) {
+	return experiments.Run(id, o)
+}
+
+// ExperimentIDs lists every reproducible table and figure.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// WriteSyntheticCIFAR writes n synthetic samples in the CIFAR-10 binary
+// record format (label byte + 3072 channel-major pixels), a drop-in
+// data_batch file for offline pipelines.
+func WriteSyntheticCIFAR(w io.Writer, n, classes int, seed uint64) error {
+	return data.WriteSyntheticCIFAR(w, n, classes, seed)
+}
+
+// LoadCIFAR reads CIFAR-10 binary records (real or synthetic) into an
+// NCHW tensor and label slice.
+func LoadCIFAR(r io.Reader) (*Tensor, []int, error) { return data.LoadCIFAR(r) }
+
+// WriteCompressed serializes x through the JPEG-ACT pipeline with the
+// given DQT into the self-describing JACT container format; read it back
+// with ReadCompressed. Unlike CompressActivation, only the compressed
+// bytes cross the writer.
+func WriteCompressed(w io.Writer, x *Tensor, d DQT) (int, error) {
+	p := compress.JPEGAct(d)
+	return p.WriteTensor(w, x)
+}
+
+// ReadCompressed reconstructs a tensor from a JACT container.
+func ReadCompressed(r io.Reader) (*Tensor, error) { return compress.ReadTensor(r) }

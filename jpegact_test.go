@@ -1,0 +1,172 @@
+package jpegact
+
+import (
+	"bytes"
+	"testing"
+
+	"jpegact/internal/data"
+	"jpegact/internal/tensor"
+)
+
+func TestFacadeMethods(t *testing.T) {
+	ms := Methods()
+	if len(ms) != 9 {
+		t.Fatalf("methods %d", len(ms))
+	}
+	if JPEGACT().Name() != "JPEG-ACT/optL5H" {
+		t.Fatalf("JPEGACT name %q", JPEGACT().Name())
+	}
+	if JPEGBase(80).Name() != "JPEG-BASE/jpeg80" {
+		t.Fatalf("JPEGBase name %q", JPEGBase(80).Name())
+	}
+}
+
+func TestFacadeCompressActivation(t *testing.T) {
+	r := tensor.NewRNG(1)
+	x := data.ActivationTensor(r, 2, 4, 16, 16, 0.5, 1.0)
+	res := CompressActivation(JPEGACT(), x, KindConv, 10)
+	if res.Ratio() < 3 {
+		t.Fatalf("ratio %v", res.Ratio())
+	}
+	if res.Recovered == nil || res.Recovered.Shape != x.Shape {
+		t.Fatal("recovery broken")
+	}
+	mask := CompressActivation(JPEGACT(), x, KindReLUToOther, 0)
+	if mask.Mask == nil {
+		t.Fatal("BRC path broken")
+	}
+}
+
+func TestFacadeTensorHelpers(t *testing.T) {
+	x := NewTensor(1, 2, 3, 4)
+	if x.Elems() != 24 {
+		t.Fatalf("elems %d", x.Elems())
+	}
+	y := FromSlice(make([]float32, 24), 1, 2, 3, 4)
+	if y.Shape != (Shape{N: 1, C: 2, H: 3, W: 4}) {
+		t.Fatalf("shape %v", y.Shape)
+	}
+	if DefaultS != 1.125 {
+		t.Fatalf("DefaultS %v", DefaultS)
+	}
+}
+
+func TestFacadeTraining(t *testing.T) {
+	rep := TrainClassifier("ResNet18", ModelScale{Width: 6, Blocks: 1},
+		TrainConfig{Method: JPEGACT(), Epochs: 1, BatchesPerEpoch: 2, BatchSize: 4}, 3)
+	if rep.ModelName != "ResNet18" || len(rep.Epochs) != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	sr := TrainSuperRes(ModelScale{Width: 4, Blocks: 1},
+		TrainConfig{Method: SFPR(), Epochs: 1, BatchesPerEpoch: 2, BatchSize: 2, LR: 0.01}, 4)
+	if sr.ModelName != "VDSR" {
+		t.Fatalf("superres report %+v", sr)
+	}
+}
+
+func TestFacadeUnknownModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TrainClassifier("AlexNet", ModelScale{}, TrainConfig{}, 1)
+}
+
+func TestFacadeOptimizeDQT(t *testing.T) {
+	r := tensor.NewRNG(5)
+	samples := []*Tensor{data.ActivationTensor(r, 1, 2, 16, 16, 0.5, 1)}
+	d, trace := OptimizeDQT(JPEGQualityDQT(80), samples,
+		DQTOptimizerConfig{Alpha: 0.01, Iters: 2, Grouped: true})
+	if d.Entries[0] != 8 {
+		t.Fatal("DC not pinned")
+	}
+	if len(trace) != 3 {
+		t.Fatalf("trace %d", len(trace))
+	}
+}
+
+func TestFacadeSimulator(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 7 {
+		t.Fatalf("workloads %v", names)
+	}
+	sp, ok := SimulateOffload("ResNet50/IN", SchemeJPEGACT(), TitanV(4))
+	if !ok || sp < 2 {
+		t.Fatalf("speedup %v ok=%v", sp, ok)
+	}
+	if _, ok := SimulateOffload("nope", SchemeVDNN(), TitanV(4)); ok {
+		t.Fatal("unknown workload must not resolve")
+	}
+	for _, s := range []OffloadScheme{SchemeCDMA(), SchemeGIST(), SchemeSFPR()} {
+		if sp, ok := SimulateOffload("VGG", s, TitanV(4)); !ok || sp <= 0 {
+			t.Fatalf("scheme %s failed", s.Name)
+		}
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 20 {
+		t.Fatalf("experiment ids %v", ids)
+	}
+	r, err := RunExperiment("table5", ExperimentOptions{Quick: true})
+	if err != nil || len(r.Rows) != 4 {
+		t.Fatalf("table5: %v %+v", err, r)
+	}
+	if _, err := RunExperiment("bogus", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestFacadeSchedules(t *testing.T) {
+	s := OptL5H()
+	if s.For(0).Name != "optL" || s.For(9).Name != "optH" {
+		t.Fatal("optL5H schedule broken")
+	}
+	fx := FixedDQT(OptH())
+	if fx.For(100).Name != "optH" {
+		t.Fatal("fixed schedule broken")
+	}
+	if OptL().Entries[0] != 8 || OptH().Entries[0] != 8 {
+		t.Fatal("optimized DQTs must pin DC")
+	}
+}
+
+func TestFacadeExtraMethods(t *testing.T) {
+	r := tensor.NewRNG(20)
+	x := data.ActivationTensor(r, 2, 4, 16, 16, 0.5, 1.0)
+	if GIST16().Name() != "GIST-16" {
+		t.Fatal("GIST16 name")
+	}
+	res := BFP(10).Compress(x, KindConv, 0)
+	if res.Ratio() < 3 {
+		t.Fatalf("BFP ratio %v", res.Ratio())
+	}
+	hres := HardwareJPEGACT(OptL5H(), 4).Compress(x, KindConv, 10)
+	if hres.Recovered == nil || hres.Ratio() < 3 {
+		t.Fatalf("hardware method broken: %v", hres.Ratio())
+	}
+}
+
+func TestFacadeMobileNet(t *testing.T) {
+	rep := TrainClassifier("MobileNet", ModelScale{Width: 6, Blocks: 1},
+		TrainConfig{Method: SFPR(), Epochs: 1, BatchesPerEpoch: 2, BatchSize: 4}, 8)
+	if rep.ModelName != "MobileNet" || rep.Diverged {
+		t.Fatalf("MobileNet training: %+v", rep)
+	}
+}
+
+func TestFacadeContainer(t *testing.T) {
+	r := tensor.NewRNG(21)
+	x := data.ActivationTensor(r, 1, 4, 16, 16, 0.5, 1.0)
+	var buf bytes.Buffer
+	payload, err := WriteCompressed(&buf, x, OptH())
+	if err != nil || payload <= 0 {
+		t.Fatalf("write: %v %d", err, payload)
+	}
+	got, err := ReadCompressed(&buf)
+	if err != nil || got.Shape != x.Shape {
+		t.Fatalf("read: %v", err)
+	}
+}
