@@ -1,0 +1,22 @@
+# Tier-1 check: must stay green on every commit.
+.PHONY: test
+test:
+	go build ./...
+	go test ./...
+
+# Tier-2 check: full suite under the race detector. The parallel layer
+# (internal/parallel and everything built on it) must pass this clean;
+# run it before merging any change that touches a parallel.For body.
+.PHONY: race
+race:
+	go test -race ./...
+
+# Micro-benchmarks of the parallel hot paths; scripts/bench.sh wraps
+# this and records results into BENCH_parallel.json.
+.PHONY: bench
+bench:
+	go test -run '^$$' -bench 'BenchmarkGemm|BenchmarkQuantizeBlocks|BenchmarkReconstructBlocks|BenchmarkRoundtripZVC|BenchmarkCompressJPEGACT|BenchmarkTrainStep' -benchmem ./...
+
+.PHONY: fmt
+fmt:
+	gofmt -l -w .

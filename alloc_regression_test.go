@@ -1,0 +1,38 @@
+package jpegact
+
+import (
+	"testing"
+
+	"jpegact/internal/data"
+	"jpegact/internal/tensor"
+)
+
+// TestCompressActivationAllocs guards the allocation budget of the hot
+// compression path. The seed implementation allocated 4123 objects per
+// CompressActivation call (per-block DCT temporaries escaping through an
+// indirect transform call, a flat ZVC copy, a codes tensor, fresh padded
+// planes); pooled scratch buffers and devirtualized DCT kernels brought
+// that down to ~23. The bound leaves slack for benign churn but fails
+// loudly if per-block allocations ever creep back in.
+func TestCompressActivationAllocs(t *testing.T) {
+	r := tensor.NewRNG(1)
+	x := data.ActivationTensor(r, 4, 16, 32, 32, 0.5, 1.0)
+	m := JPEGACT()
+
+	// Pin to one worker: goroutine spawns would otherwise count as
+	// allocations and vary with GOMAXPROCS.
+	prev := SetParallelWorkers(1)
+	defer SetParallelWorkers(prev)
+
+	// Warm the sync.Pools so the steady state is measured.
+	CompressActivation(m, x, KindConv, 10)
+
+	allocs := testing.AllocsPerRun(10, func() {
+		CompressActivation(m, x, KindConv, 10)
+	})
+	const maxAllocs = 200 // seed: 4123; current: ~23
+	if allocs > maxAllocs {
+		t.Fatalf("CompressActivation allocates %.0f objects/op, budget %d (seed was 4123)",
+			allocs, maxAllocs)
+	}
+}

@@ -1,11 +1,25 @@
 package coding
 
+import (
+	"math/bits"
+
+	"jpegact/internal/parallel"
+)
+
 // Zero Value Compression (ZVC, §II-B4, Fig. 4): for every group of eight
 // 8-bit values a one-byte non-zero mask is emitted followed by the packed
 // non-zero bytes. Compression is insensitive to the *distribution* of
 // zeros, which is why JPEG-ACT prefers it over run-length coding for
 // frequency-domain activations whose zeros are randomly spread (§VI-C).
 // The mask bounds the maximum compression at 8× for 8-bit values.
+//
+// The block variants below operate directly on [][64]int8 quantized
+// blocks. A 64-value block spans exactly eight mask groups, so
+// per-block encodings concatenate into the same stream EncodeZVC
+// produces for the flattened values — which is what lets blocks shard
+// over the worker pool (each shard encodes into its own precomputed
+// stream window, mirroring the paper's multi-CDU round-robin) while the
+// output stays byte-identical at any worker count.
 
 // EncodeZVC compresses vals (any length; the tail group may be short).
 func EncodeZVC(vals []int8) []byte {
@@ -59,14 +73,211 @@ func DecodeZVC(data []byte, n int) ([]int8, error) {
 }
 
 // ZVCSize returns the encoded size in bytes without materializing the
-// stream, for fast compression-ratio accounting.
+// stream, for fast compression-ratio accounting. The non-zero scan
+// shards over the worker pool for large inputs (integer partial sums,
+// so the total is exact regardless of the split).
 func ZVCSize(vals []int8) int {
 	groups := (len(vals) + 7) / 8
+	const grain = 1 << 14
+	if len(vals) <= grain {
+		return groups + countNonzero(vals)
+	}
+	chunks := (len(vals) + grain - 1) / grain
+	partial := make([]int, chunks)
+	parallel.For(chunks, 1, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			end := (ci + 1) * grain
+			if end > len(vals) {
+				end = len(vals)
+			}
+			partial[ci] = countNonzero(vals[ci*grain : end])
+		}
+	})
+	nz := 0
+	for _, p := range partial {
+		nz += p
+	}
+	return groups + nz
+}
+
+func countNonzero(vals []int8) int {
 	nz := 0
 	for _, v := range vals {
 		if v != 0 {
 			nz++
 		}
 	}
-	return groups + nz
+	return nz
+}
+
+// zvcBlockGrain is the number of 8×8 blocks per parallel shard; one
+// block is ~128 byte operations, so 64 blocks keep goroutine overhead
+// well under 1%.
+const zvcBlockGrain = 64
+
+// encodeZVCInto encodes vals into dst, which must have room for exactly
+// the encoded size, and returns the bytes written.
+func encodeZVCInto(dst []byte, vals []int8) int {
+	p := 0
+	for i := 0; i < len(vals); i += 8 {
+		end := i + 8
+		if end > len(vals) {
+			end = len(vals)
+		}
+		var mask byte
+		for j := i; j < end; j++ {
+			if vals[j] != 0 {
+				mask |= 1 << uint(j-i)
+			}
+		}
+		dst[p] = mask
+		p++
+		for j := i; j < end; j++ {
+			if vals[j] != 0 {
+				dst[p] = byte(vals[j])
+				p++
+			}
+		}
+	}
+	return p
+}
+
+// EncodeZVCBlocks encodes the concatenation of the blocks, producing a
+// stream byte-identical to EncodeZVC over the flattened values but
+// without materializing the flat copy: per-block sizes are prefix-summed
+// into stream offsets and shards of blocks encode in parallel, each into
+// its own window of the output.
+func EncodeZVCBlocks(blocks [][64]int8) []byte {
+	nb := len(blocks)
+	offs := make([]int, nb+1)
+	parallel.For(nb, zvcBlockGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			offs[i+1] = 8 + countNonzero(blocks[i][:])
+		}
+	})
+	for i := 0; i < nb; i++ {
+		offs[i+1] += offs[i]
+	}
+	out := make([]byte, offs[nb])
+	parallel.For(nb, zvcBlockGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			encodeZVCInto(out[offs[i]:offs[i+1]], blocks[i][:])
+		}
+	})
+	return out
+}
+
+// decodeZVCBlocksRange decodes blocks [lo,hi) from data starting at
+// byte offset p (which must point at the first mask of block lo).
+func decodeZVCBlocksRange(dst [][64]int8, lo, hi, p int, data []byte) error {
+	for bi := lo; bi < hi; bi++ {
+		blk := &dst[bi]
+		*blk = [64]int8{}
+		for g := 0; g < 64; g += 8 {
+			if p >= len(data) {
+				return ErrCorrupt
+			}
+			mask := data[p]
+			p++
+			nz := bits.OnesCount8(mask)
+			if p+nz > len(data) {
+				return ErrCorrupt
+			}
+			for j := 0; j < 8; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					blk[g+j] = int8(data[p])
+					p++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeZVCBlocksInto decodes a stream produced by EncodeZVCBlocks (or
+// EncodeZVC over flattened blocks) into dst, whose length fixes the
+// expected block count. A cheap serial mask walk locates each shard's
+// stream offset, then shards decode in parallel.
+func DecodeZVCBlocksInto(dst [][64]int8, data []byte) error {
+	nb := len(dst)
+	chunks := (nb + zvcBlockGrain - 1) / zvcBlockGrain
+	if chunks == 0 {
+		return nil
+	}
+	// offs[c] is the stream offset of chunk c's first block: advance one
+	// mask group at a time, skipping popcount payload bytes.
+	offs := make([]int, chunks)
+	p := 0
+	for c := 0; c < chunks; c++ {
+		offs[c] = p
+		end := (c + 1) * zvcBlockGrain
+		if end > nb {
+			end = nb
+		}
+		groups := (end - c*zvcBlockGrain) * 8
+		for g := 0; g < groups; g++ {
+			if p >= len(data) {
+				return ErrCorrupt
+			}
+			p += 1 + bits.OnesCount8(data[p])
+		}
+	}
+	if p > len(data) {
+		return ErrCorrupt
+	}
+	// The scan above validated every group, so per-chunk decode errors
+	// are unreachable in practice; collect them race-free regardless.
+	errs := make([]error, chunks)
+	parallel.For(chunks, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			blo := c * zvcBlockGrain
+			bhi := blo + zvcBlockGrain
+			if bhi > nb {
+				bhi = nb
+			}
+			errs[c] = decodeZVCBlocksRange(dst, blo, bhi, offs[c], data)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ZVCSizeBlocks returns the ZVC-coded size of the concatenated blocks
+// without materializing the stream, sharding the non-zero scan over the
+// worker pool (integer partial sums — exact at any worker count).
+func ZVCSizeBlocks(blocks [][64]int8) int {
+	nb := len(blocks)
+	chunks := (nb + zvcBlockGrain - 1) / zvcBlockGrain
+	partial := make([]int, chunks)
+	parallel.For(chunks, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			end := (c + 1) * zvcBlockGrain
+			if end > nb {
+				end = nb
+			}
+			n := 0
+			for i := c * zvcBlockGrain; i < end; i++ {
+				n += 8 + countNonzero(blocks[i][:])
+			}
+			partial[c] = n
+		}
+	})
+	total := 0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// DecodeZVCBlocks allocates and decodes nb blocks from data.
+func DecodeZVCBlocks(data []byte, nb int) ([][64]int8, error) {
+	out := make([][64]int8, nb)
+	if err := DecodeZVCBlocksInto(out, data); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

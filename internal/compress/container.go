@@ -37,11 +37,7 @@ func (p *Pipeline) WriteTensor(w io.Writer, x *tensor.Tensor) (int, error) {
 	blocks, scales, info := p.QuantizeBlocks(x)
 	var payload []byte
 	if p.UseZVC {
-		flat := make([]int8, 0, len(blocks)*64)
-		for i := range blocks {
-			flat = append(flat, blocks[i][:]...)
-		}
-		payload = coding.EncodeZVC(flat)
+		payload = coding.EncodeZVCBlocks(blocks)
 	} else if p.Adaptive {
 		payload = coding.EncodeJPEGBlocksAdaptive(blocks)
 	} else {
@@ -163,20 +159,16 @@ func ReadTensor(r io.Reader) (*tensor.Tensor, error) {
 	p := Pipeline{DQT: d, UseShift: flags&1 != 0, UseZVC: flags&2 != 0,
 		Adaptive: flags&4 != 0, S: float64(s)}
 	shape := tensor.Shape{N: int(n), C: int(c), H: int(h), W: int(w)}
-	// Rebuild the pad geometry from the shape.
-	probe := tensor.New(shape.N, shape.C, shape.H, shape.W)
-	_, info := tensor.PadForBlocks(probe, 8)
+	// Rebuild the pad geometry from the shape alone.
+	info := tensor.BlockPadInfo(shape, 8)
 	nBlocks := info.PaddedElems() / 64
 
 	var blocks [][64]int8
 	if p.UseZVC {
-		flat, err := coding.DecodeZVC(payload, nBlocks*64)
+		var err error
+		blocks, err = coding.DecodeZVCBlocks(payload, nBlocks)
 		if err != nil {
 			return nil, err
-		}
-		blocks = make([][64]int8, nBlocks)
-		for i := range blocks {
-			copy(blocks[i][:], flat[i*64:(i+1)*64])
 		}
 	} else {
 		var err error

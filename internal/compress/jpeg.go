@@ -8,6 +8,7 @@ package compress
 import (
 	"jpegact/internal/coding"
 	"jpegact/internal/dct"
+	"jpegact/internal/parallel"
 	"jpegact/internal/quant"
 	"jpegact/internal/sfpr"
 	"jpegact/internal/tensor"
@@ -35,76 +36,142 @@ func JPEGAct(d quant.DQT) Pipeline {
 	return Pipeline{DQT: d, UseShift: true, UseZVC: true, S: sfpr.DefaultS}
 }
 
+// blockGrain is the number of 8×8 blocks one parallel chunk carries
+// through the DCT+quantization stage — each block is a few hundred
+// float ops, so 16 blocks amortize the goroutine handoff.
+const blockGrain = 16
+
 // QuantizeBlocks runs the pipeline through quantization, returning the
 // quantized 8×8 blocks, the SFPR scales, and the pad info needed to
 // reconstruct. Exposed for the DQT optimizer and entropy analyses.
 func (p *Pipeline) QuantizeBlocks(x *tensor.Tensor) ([][64]int8, []float32, tensor.PadInfo) {
-	c := sfpr.Compress(x, p.s())
-	codes := tensor.New(x.Shape.N, x.Shape.C, x.Shape.H, x.Shape.W)
-	for i, v := range c.Values {
-		codes.Data[i] = float32(v)
-	}
-	padded, info := tensor.PadForBlocks(codes, dct.BlockSize)
-	cols := info.BlockCols
-	nb := (info.BlockRows / 8) * (cols / 8)
-	blocks := make([][64]int8, 0, nb)
+	return p.quantizeBlocks(x, nil)
+}
 
-	var blk dct.Block
-	var coef [64]float32
-	for by := 0; by < info.BlockRows/8; by++ {
-		for bx := 0; bx < cols/8; bx++ {
+// quantizeBlocks is QuantizeBlocks with an optional caller-provided
+// block slice (the pooled Roundtrip path); blocks is reused when its
+// capacity suffices. Blocks shard over the worker pool in contiguous
+// index ranges — the software mirror of the paper's multi-CDU
+// round-robin — and every block is produced by exactly one worker with
+// the serial per-block op order, so the output is bit-identical at any
+// worker count.
+func (p *Pipeline) quantizeBlocks(x *tensor.Tensor, blocks [][64]int8) ([][64]int8, []float32, tensor.PadInfo) {
+	info := tensor.BlockPadInfo(x.Shape, dct.BlockSize)
+	scales := make([]float32, x.Shape.C)
+	sfpr.ComputeScales(x, p.s(), scales)
+	valsP := getI8(x.Elems())
+	vals := *valsP
+	sfpr.QuantizeInto(x, scales, vals)
+
+	// Spread the int8 codes onto the padded (NCH)×W plane. The pooled
+	// buffer comes back dirty, so zero it first when padding exists.
+	cols := info.BlockCols
+	rows := x.Shape.N * x.Shape.C * x.Shape.H
+	w := x.Shape.W
+	paddedP := getF32(info.PaddedElems())
+	padded := *paddedP
+	if info.PadRows != 0 || info.PadCols != 0 {
+		for i := range padded {
+			padded[i] = 0
+		}
+	}
+	parallel.For(rows, parallel.Grain(w, 4096), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			src := vals[r*w : (r+1)*w]
+			dst := padded[r*cols : r*cols+w]
+			for j, v := range src {
+				dst[j] = float32(v)
+			}
+		}
+	})
+
+	bw := cols / 8
+	nb := (info.BlockRows / 8) * bw
+	if cap(blocks) >= nb {
+		blocks = blocks[:nb]
+	} else {
+		blocks = make([][64]int8, nb)
+	}
+	logs := p.DQT.ShiftLogs() // hoisted out of the block loop
+	parallel.For(nb, blockGrain, func(lo, hi int) {
+		var blk dct.Block
+		var coef [64]float32
+		for bi := lo; bi < hi; bi++ {
+			by, bx := bi/bw, bi%bw
 			for r := 0; r < 8; r++ {
-				for cc := 0; cc < 8; cc++ {
-					blk[r*8+cc] = padded[(by*8+r)*cols+bx*8+cc]
-				}
+				src := padded[(by*8+r)*cols+bx*8:]
+				copy(blk[r*8:(r+1)*8], src[:8])
 			}
 			dct.Forward8x8(&blk)
 			copy(coef[:], blk[:])
-			var q [64]int8
 			if p.UseShift {
-				quant.ShiftQuantizeFloat(&coef, &p.DQT, &q)
+				quant.ShiftQuantizeFloatLogs(&coef, &logs, &blocks[bi])
 			} else {
-				quant.DivQuantize(&coef, &p.DQT, &q)
+				quant.DivQuantize(&coef, &p.DQT, &blocks[bi])
 			}
-			blocks = append(blocks, q)
 		}
-	}
-	return blocks, c.Scales, info
+	})
+	putF32(paddedP)
+	putI8(valsP)
+	return blocks, scales, info
 }
 
 // ReconstructBlocks inverts QuantizeBlocks: dequantize, inverse DCT,
 // clip back to the int8 SFPR code range, undo padding and SFPR scaling.
+// Blocks shard over the worker pool exactly as in quantizeBlocks.
 func (p *Pipeline) ReconstructBlocks(blocks [][64]int8, scales []float32, info tensor.PadInfo) *tensor.Tensor {
 	cols := info.BlockCols
-	padded := make([]float32, info.PaddedElems())
-	var blk dct.Block
-	var coef [64]float32
-	bi := 0
-	for by := 0; by < info.BlockRows/8; by++ {
-		for bx := 0; bx < cols/8; bx++ {
+	// Every padded element belongs to exactly one block, so the pooled
+	// plane is fully overwritten — no zeroing needed.
+	paddedP := getF32(info.PaddedElems())
+	padded := *paddedP
+	bw := cols / 8
+	nb := (info.BlockRows / 8) * bw
+	logs := p.DQT.ShiftLogs()
+	parallel.For(nb, blockGrain, func(lo, hi int) {
+		var blk dct.Block
+		var coef [64]float32
+		for bi := lo; bi < hi; bi++ {
 			q := &blocks[bi]
-			bi++
 			if p.UseShift {
-				quant.ShiftDequantizeFloat(q, &p.DQT, &coef)
+				quant.ShiftDequantizeFloatLogs(q, &logs, &coef)
 			} else {
 				quant.DivDequantize(q, &p.DQT, &coef)
 			}
 			copy(blk[:], coef[:])
 			dct.Inverse8x8(&blk)
+			by, bx := bi/bw, bi%bw
 			for r := 0; r < 8; r++ {
+				dst := padded[(by*8+r)*cols+bx*8:]
 				for cc := 0; cc < 8; cc++ {
-					padded[(by*8+r)*cols+bx*8+cc] = clampCode(blk[r*8+cc])
+					dst[cc] = clampCode(blk[r*8+cc])
 				}
 			}
 		}
-	}
-	codes := tensor.UnpadFromBlocks(padded, info)
-	vals := make([]int8, codes.Elems())
-	for i, v := range codes.Data {
-		vals[i] = int8(v)
-	}
-	out := tensor.New(info.Orig.N, info.Orig.C, info.Orig.H, info.Orig.W)
-	sfpr.DequantizeInto(vals, scales, out)
+	})
+
+	// Strip padding and undo the SFPR scaling in one parallel pass
+	// (clampCode already produced exact int8-range integers, so the
+	// previous float→int8→float bounce is a no-op we skip).
+	sh := info.Orig
+	hw := sh.H * sh.W
+	out := tensor.New(sh.N, sh.C, sh.H, sh.W)
+	parallel.For(sh.N*sh.C, parallel.Grain(hw, 4096), func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			var inv float32
+			if sc := scales[nc%sh.C]; sc != 0 {
+				inv = 1 / (sc * 128)
+			}
+			for row := 0; row < sh.H; row++ {
+				src := padded[(nc*sh.H+row)*cols:]
+				dst := out.Data[nc*hw+row*sh.W:][:sh.W]
+				for j := range dst {
+					dst[j] = src[j] * inv
+				}
+			}
+		}
+	})
+	putF32(paddedP)
 	return out
 }
 
@@ -129,24 +196,23 @@ func clampCode(v float32) float32 {
 // recovered activation plus the compressed byte count (coded stream +
 // per-channel scales). The coded stream is actually encoded and decoded,
 // so the losslessness of the coding stage is exercised on every call.
+// The quantized and decoded block slices come from the scratch pools,
+// and the ZVC path encodes straight from the block slice — no flat
+// intermediate copy.
 func (p *Pipeline) Roundtrip(x *tensor.Tensor) (*tensor.Tensor, int) {
-	blocks, scales, info := p.QuantizeBlocks(x)
+	info := tensor.BlockPadInfo(x.Shape, dct.BlockSize)
+	blkP := getBlocks(info.PaddedElems() / 64)
+	blocks, scales, info := p.quantizeBlocks(x, *blkP)
 	var bytes int
 	var decoded [][64]int8
+	var decP *[][64]int8
 	if p.UseZVC {
-		flat := make([]int8, 0, len(blocks)*64)
-		for i := range blocks {
-			flat = append(flat, blocks[i][:]...)
-		}
-		enc := coding.EncodeZVC(flat)
+		enc := coding.EncodeZVCBlocks(blocks)
 		bytes = len(enc)
-		back, err := coding.DecodeZVC(enc, len(flat))
-		if err != nil {
+		decP = getBlocks(len(blocks))
+		decoded = *decP
+		if err := coding.DecodeZVCBlocksInto(decoded, enc); err != nil {
 			panic("compress: ZVC roundtrip failed: " + err.Error())
-		}
-		decoded = make([][64]int8, len(blocks))
-		for i := range decoded {
-			copy(decoded[i][:], back[i*64:(i+1)*64])
 		}
 	} else if p.Adaptive {
 		enc := coding.EncodeJPEGBlocksAdaptive(blocks)
@@ -166,7 +232,12 @@ func (p *Pipeline) Roundtrip(x *tensor.Tensor) (*tensor.Tensor, int) {
 		}
 	}
 	bytes += 4 * len(scales)
-	return p.ReconstructBlocks(decoded, scales, info), bytes
+	out := p.ReconstructBlocks(decoded, scales, info)
+	putBlocks(blkP)
+	if decP != nil {
+		putBlocks(decP)
+	}
+	return out, bytes
 }
 
 func (p *Pipeline) s() float64 {
@@ -180,11 +251,7 @@ func (p *Pipeline) s() float64 {
 // under this pipeline's coder, without materializing streams.
 func (p *Pipeline) CodedSize(blocks [][64]int8) int {
 	if p.UseZVC {
-		n := 0
-		for i := range blocks {
-			n += coding.ZVCSize(blocks[i][:])
-		}
-		return n
+		return coding.ZVCSizeBlocks(blocks)
 	}
 	if p.Adaptive {
 		return len(coding.EncodeJPEGBlocksAdaptive(blocks))

@@ -1,0 +1,49 @@
+package compress
+
+import "sync"
+
+// sync.Pool-backed scratch buffers for the block round trip. The
+// pipeline's hot path (one call per saved activation per training step)
+// used to allocate a padded float plane, a flat int8 copy and a decoded
+// block slice on every call; pooling them keeps the parallel path from
+// trading the compute bottleneck for a GC bottleneck. Buffers are
+// returned dirty — callers that need zeroed padding clear it themselves.
+
+var (
+	f32Pool = sync.Pool{New: func() interface{} { s := make([]float32, 0); return &s }}
+	i8Pool  = sync.Pool{New: func() interface{} { s := make([]int8, 0); return &s }}
+	blkPool = sync.Pool{New: func() interface{} { s := make([][64]int8, 0); return &s }}
+)
+
+func getF32(n int) *[]float32 {
+	p := f32Pool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putF32(p *[]float32) { f32Pool.Put(p) }
+
+func getI8(n int) *[]int8 {
+	p := i8Pool.Get().(*[]int8)
+	if cap(*p) < n {
+		*p = make([]int8, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putI8(p *[]int8) { i8Pool.Put(p) }
+
+func getBlocks(n int) *[][64]int8 {
+	p := blkPool.Get().(*[][64]int8)
+	if cap(*p) < n {
+		*p = make([][64]int8, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putBlocks(p *[][64]int8) { blkPool.Put(p) }

@@ -194,13 +194,51 @@ func LLMInverse1D(in, out *[8]float64) {
 // Forward8x8 applies the 2D forward DCT to an 8×8 block in place,
 // implemented as two passes through the 1D LLM units with a transpose
 // between them, exactly the two-pass structure of the hardware DCT unit.
+// The LLM calls are concrete (not through a function value) so the 1D
+// scratch stays on the stack — this runs once per block on the
+// compression hot path and must not allocate.
 func Forward8x8(b *Block) {
-	transform2D(b, LLM1D)
+	var in, out [8]float64
+	var tmp [64]float64
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			in[c] = float64(b[r*8+c])
+		}
+		LLM1D(&in, &out)
+		copy(tmp[r*8:], out[:])
+	}
+	for c := 0; c < 8; c++ {
+		for r := 0; r < 8; r++ {
+			in[r] = tmp[r*8+c]
+		}
+		LLM1D(&in, &out)
+		for r := 0; r < 8; r++ {
+			b[r*8+c] = float32(out[r])
+		}
+	}
 }
 
 // Inverse8x8 applies the 2D inverse DCT to an 8×8 block in place.
+// Concrete LLM calls for the same zero-allocation reason as Forward8x8.
 func Inverse8x8(b *Block) {
-	transform2D(b, LLMInverse1D)
+	var in, out [8]float64
+	var tmp [64]float64
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			in[c] = float64(b[r*8+c])
+		}
+		LLMInverse1D(&in, &out)
+		copy(tmp[r*8:], out[:])
+	}
+	for c := 0; c < 8; c++ {
+		for r := 0; r < 8; r++ {
+			in[r] = tmp[r*8+c]
+		}
+		LLMInverse1D(&in, &out)
+		for r := 0; r < 8; r++ {
+			b[r*8+c] = float32(out[r])
+		}
+	}
 }
 
 // NaiveForward8x8 applies the reference 2D forward DCT in place.

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"jpegact/internal/compress"
+	"jpegact/internal/parallel"
 	"jpegact/internal/tensor"
 )
 
@@ -71,44 +72,50 @@ func (b *BatchNorm) Forward(in *ActRef, train bool) *ActRef {
 	m := float64(sh.N * hw)
 	out := tensor.NewLike(x)
 
-	for c := 0; c < b.C; c++ {
-		var mean, invStd float64
-		if train {
-			var sum float64
+	// Channels are independent — stats, running-stat updates and the
+	// normalized writes all stay within channel c — so the channel loop
+	// shards over the worker pool with the per-channel float accumulation
+	// order unchanged (deterministic at any worker count).
+	parallel.For(b.C, parallel.Grain(3*sh.N*hw, elemGrain), func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			var mean, invStd float64
+			if train {
+				var sum float64
+				for n := 0; n < sh.N; n++ {
+					base := (n*sh.C + c) * hw
+					for i := 0; i < hw; i++ {
+						sum += float64(x.Data[base+i])
+					}
+				}
+				mean = sum / m
+				var sq float64
+				for n := 0; n < sh.N; n++ {
+					base := (n*sh.C + c) * hw
+					for i := 0; i < hw; i++ {
+						d := float64(x.Data[base+i]) - mean
+						sq += d * d
+					}
+				}
+				variance := sq / m
+				invStd = 1 / math.Sqrt(variance+b.Eps)
+				b.mean[c] = float32(mean)
+				b.invStd[c] = float32(invStd)
+				b.RunningMean[c] = float32((1-b.Momentum)*float64(b.RunningMean[c]) + b.Momentum*mean)
+				b.RunningVar[c] = float32((1-b.Momentum)*float64(b.RunningVar[c]) + b.Momentum*variance)
+			} else {
+				mean = float64(b.RunningMean[c])
+				invStd = 1 / math.Sqrt(float64(b.RunningVar[c])+b.Eps)
+			}
+			g := float64(b.Gamma.W.Data[c])
+			bt := float64(b.Beta.W.Data[c])
 			for n := 0; n < sh.N; n++ {
 				base := (n*sh.C + c) * hw
 				for i := 0; i < hw; i++ {
-					sum += float64(x.Data[base+i])
+					out.Data[base+i] = float32((float64(x.Data[base+i])-mean)*invStd*g + bt)
 				}
 			}
-			mean = sum / m
-			var sq float64
-			for n := 0; n < sh.N; n++ {
-				base := (n*sh.C + c) * hw
-				for i := 0; i < hw; i++ {
-					d := float64(x.Data[base+i]) - mean
-					sq += d * d
-				}
-			}
-			variance := sq / m
-			invStd = 1 / math.Sqrt(variance+b.Eps)
-			b.mean[c] = float32(mean)
-			b.invStd[c] = float32(invStd)
-			b.RunningMean[c] = float32((1-b.Momentum)*float64(b.RunningMean[c]) + b.Momentum*mean)
-			b.RunningVar[c] = float32((1-b.Momentum)*float64(b.RunningVar[c]) + b.Momentum*variance)
-		} else {
-			mean = float64(b.RunningMean[c])
-			invStd = 1 / math.Sqrt(float64(b.RunningVar[c])+b.Eps)
 		}
-		g := float64(b.Gamma.W.Data[c])
-		bt := float64(b.Beta.W.Data[c])
-		for n := 0; n < sh.N; n++ {
-			base := (n*sh.C + c) * hw
-			for i := 0; i < hw; i++ {
-				out.Data[base+i] = float32((float64(x.Data[base+i])-mean)*invStd*g + bt)
-			}
-		}
-	}
+	})
 	if train {
 		b.in = in
 	}
@@ -124,32 +131,36 @@ func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	m := float64(sh.N * hw)
 	dx := tensor.NewLike(x)
 
-	for c := 0; c < b.C; c++ {
-		mean := float64(b.mean[c])
-		invStd := float64(b.invStd[c])
-		g := float64(b.Gamma.W.Data[c])
+	// Same channel sharding as Forward: ∂β/∂γ accumulate into their own
+	// channel slot and dx writes stay within channel c.
+	parallel.For(b.C, parallel.Grain(4*sh.N*hw, elemGrain), func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			mean := float64(b.mean[c])
+			invStd := float64(b.invStd[c])
+			g := float64(b.Gamma.W.Data[c])
 
-		var sumDy, sumDyXhat float64
-		for n := 0; n < sh.N; n++ {
-			base := (n*sh.C + c) * hw
-			for i := 0; i < hw; i++ {
-				dy := float64(grad.Data[base+i])
-				xh := (float64(x.Data[base+i]) - mean) * invStd
-				sumDy += dy
-				sumDyXhat += dy * xh
+			var sumDy, sumDyXhat float64
+			for n := 0; n < sh.N; n++ {
+				base := (n*sh.C + c) * hw
+				for i := 0; i < hw; i++ {
+					dy := float64(grad.Data[base+i])
+					xh := (float64(x.Data[base+i]) - mean) * invStd
+					sumDy += dy
+					sumDyXhat += dy * xh
+				}
+			}
+			b.Beta.Grad.Data[c] += float32(sumDy)
+			b.Gamma.Grad.Data[c] += float32(sumDyXhat)
+
+			for n := 0; n < sh.N; n++ {
+				base := (n*sh.C + c) * hw
+				for i := 0; i < hw; i++ {
+					dy := float64(grad.Data[base+i])
+					xh := (float64(x.Data[base+i]) - mean) * invStd
+					dx.Data[base+i] = float32(g * invStd * (dy - sumDy/m - xh*sumDyXhat/m))
+				}
 			}
 		}
-		b.Beta.Grad.Data[c] += float32(sumDy)
-		b.Gamma.Grad.Data[c] += float32(sumDyXhat)
-
-		for n := 0; n < sh.N; n++ {
-			base := (n*sh.C + c) * hw
-			for i := 0; i < hw; i++ {
-				dy := float64(grad.Data[base+i])
-				xh := (float64(x.Data[base+i]) - mean) * invStd
-				dx.Data[base+i] = float32(g * invStd * (dy - sumDy/m - xh*sumDyXhat/m))
-			}
-		}
-	}
+	})
 	return dx
 }

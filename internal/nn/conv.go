@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jpegact/internal/compress"
+	"jpegact/internal/parallel"
 	"jpegact/internal/tensor"
 )
 
@@ -176,54 +177,66 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return dx
 }
 
-// im2col lowers batch element n of x into cols (k2 × ho*wo).
+// im2col lowers batch element n of x into cols (k2 × ho*wo). Input
+// channels are distributed over the worker pool: channel ic fills the
+// contiguous cols slab [ic·K²·spatial, (ic+1)·K²·spatial), so workers
+// never share an output index.
 func (c *Conv2D) im2col(x *tensor.Tensor, n int, cols []float32) {
 	ho, wo := c.outDims(x.Shape)
 	h, w := x.Shape.H, x.Shape.W
-	idx := 0
-	for ic := 0; ic < c.InC; ic++ {
-		chBase := (n*x.Shape.C + ic) * h * w
-		for ky := 0; ky < c.Kernel; ky++ {
-			for kx := 0; kx < c.Kernel; kx++ {
-				for oy := 0; oy < ho; oy++ {
-					iy := oy*c.Stride + ky - c.Pad
-					rowOK := iy >= 0 && iy < h
-					for ox := 0; ox < wo; ox++ {
-						ix := ox*c.Stride + kx - c.Pad
-						if rowOK && ix >= 0 && ix < w {
-							cols[idx] = x.Data[chBase+iy*w+ix]
-						} else {
-							cols[idx] = 0
+	perC := c.Kernel * c.Kernel * ho * wo
+	parallel.For(c.InC, parallel.Grain(perC, 1<<14), func(lo, hi int) {
+		for ic := lo; ic < hi; ic++ {
+			idx := ic * perC
+			chBase := (n*x.Shape.C + ic) * h * w
+			for ky := 0; ky < c.Kernel; ky++ {
+				for kx := 0; kx < c.Kernel; kx++ {
+					for oy := 0; oy < ho; oy++ {
+						iy := oy*c.Stride + ky - c.Pad
+						rowOK := iy >= 0 && iy < h
+						for ox := 0; ox < wo; ox++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if rowOK && ix >= 0 && ix < w {
+								cols[idx] = x.Data[chBase+iy*w+ix]
+							} else {
+								cols[idx] = 0
+							}
+							idx++
 						}
-						idx++
 					}
 				}
 			}
 		}
-	}
+	})
 }
 
 // col2im scatters dcols back into batch element n of dx (accumulating).
+// Parallel over input channels: channel ic only accumulates into its own
+// dx plane, and reads its own dcols slab, so ranges stay disjoint and
+// the per-element accumulation order matches the serial loop.
 func (c *Conv2D) col2im(dcols []float32, dx *tensor.Tensor, n int) {
 	ho, wo := c.outDims(dx.Shape)
 	h, w := dx.Shape.H, dx.Shape.W
-	idx := 0
-	for ic := 0; ic < c.InC; ic++ {
-		chBase := (n*dx.Shape.C + ic) * h * w
-		for ky := 0; ky < c.Kernel; ky++ {
-			for kx := 0; kx < c.Kernel; kx++ {
-				for oy := 0; oy < ho; oy++ {
-					iy := oy*c.Stride + ky - c.Pad
-					rowOK := iy >= 0 && iy < h
-					for ox := 0; ox < wo; ox++ {
-						ix := ox*c.Stride + kx - c.Pad
-						if rowOK && ix >= 0 && ix < w {
-							dx.Data[chBase+iy*w+ix] += dcols[idx]
+	perC := c.Kernel * c.Kernel * ho * wo
+	parallel.For(c.InC, parallel.Grain(perC, 1<<14), func(lo, hi int) {
+		for ic := lo; ic < hi; ic++ {
+			idx := ic * perC
+			chBase := (n*dx.Shape.C + ic) * h * w
+			for ky := 0; ky < c.Kernel; ky++ {
+				for kx := 0; kx < c.Kernel; kx++ {
+					for oy := 0; oy < ho; oy++ {
+						iy := oy*c.Stride + ky - c.Pad
+						rowOK := iy >= 0 && iy < h
+						for ox := 0; ox < wo; ox++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if rowOK && ix >= 0 && ix < w {
+								dx.Data[chBase+iy*w+ix] += dcols[idx]
+							}
+							idx++
 						}
-						idx++
 					}
 				}
 			}
 		}
-	}
+	})
 }

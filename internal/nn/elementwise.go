@@ -4,8 +4,14 @@ import (
 	"math"
 
 	"jpegact/internal/compress"
+	"jpegact/internal/parallel"
 	"jpegact/internal/tensor"
 )
+
+// elemGrain is the per-chunk element count for the pointwise loops:
+// large enough that goroutine overhead stays invisible, small enough to
+// split typical activation planes across the pool.
+const elemGrain = 4096
 
 // Additional layers beyond the paper's CNR vocabulary, completing the
 // training library for downstream users: average pooling and the common
@@ -40,18 +46,20 @@ func (p *AvgPool2) Forward(in *ActRef, _ bool) *ActRef {
 	p.inShape = sh
 	ho, wo := sh.H/2, sh.W/2
 	out := tensor.New(sh.N, sh.C, ho, wo)
-	for nc := 0; nc < sh.N*sh.C; nc++ {
-		inBase := nc * sh.H * sh.W
-		outBase := nc * ho * wo
-		for oy := 0; oy < ho; oy++ {
-			for ox := 0; ox < wo; ox++ {
-				iy, ix := oy*2, ox*2
-				sum := x.Data[inBase+iy*sh.W+ix] + x.Data[inBase+iy*sh.W+ix+1] +
-					x.Data[inBase+(iy+1)*sh.W+ix] + x.Data[inBase+(iy+1)*sh.W+ix+1]
-				out.Data[outBase+oy*wo+ox] = sum / 4
+	parallel.For(sh.N*sh.C, parallel.Grain(sh.H*sh.W, elemGrain), func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			inBase := nc * sh.H * sh.W
+			outBase := nc * ho * wo
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					iy, ix := oy*2, ox*2
+					sum := x.Data[inBase+iy*sh.W+ix] + x.Data[inBase+iy*sh.W+ix+1] +
+						x.Data[inBase+(iy+1)*sh.W+ix] + x.Data[inBase+(iy+1)*sh.W+ix+1]
+					out.Data[outBase+oy*wo+ox] = sum / 4
+				}
 			}
 		}
-	}
+	})
 	return &ActRef{Name: p.LayerName + ".out", Kind: compress.KindPoolDropout, T: out}
 }
 
@@ -60,20 +68,22 @@ func (p *AvgPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	sh := p.inShape
 	ho, wo := sh.H/2, sh.W/2
 	dx := tensor.New(sh.N, sh.C, sh.H, sh.W)
-	for nc := 0; nc < sh.N*sh.C; nc++ {
-		inBase := nc * sh.H * sh.W
-		outBase := nc * ho * wo
-		for oy := 0; oy < ho; oy++ {
-			for ox := 0; ox < wo; ox++ {
-				g := grad.Data[outBase+oy*wo+ox] / 4
-				iy, ix := oy*2, ox*2
-				dx.Data[inBase+iy*sh.W+ix] += g
-				dx.Data[inBase+iy*sh.W+ix+1] += g
-				dx.Data[inBase+(iy+1)*sh.W+ix] += g
-				dx.Data[inBase+(iy+1)*sh.W+ix+1] += g
+	parallel.For(sh.N*sh.C, parallel.Grain(sh.H*sh.W, elemGrain), func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			inBase := nc * sh.H * sh.W
+			outBase := nc * ho * wo
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					g := grad.Data[outBase+oy*wo+ox] / 4
+					iy, ix := oy*2, ox*2
+					dx.Data[inBase+iy*sh.W+ix] += g
+					dx.Data[inBase+iy*sh.W+ix+1] += g
+					dx.Data[inBase+(iy+1)*sh.W+ix] += g
+					dx.Data[inBase+(iy+1)*sh.W+ix+1] += g
+				}
 			}
 		}
-	}
+	})
 	return dx
 }
 
@@ -104,9 +114,11 @@ func (e *elementwiseLayer) SavedRefs() []*ActRef {
 func (e *elementwiseLayer) Forward(in *ActRef, train bool) *ActRef {
 	x := in.T
 	out := tensor.NewLike(x)
-	for i, v := range x.Data {
-		out.Data[i] = e.fn(v)
-	}
+	parallel.For(len(x.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = e.fn(x.Data[i])
+		}
+	})
 	ref := &ActRef{Name: e.LayerName + ".out", Kind: compress.KindConv, T: out}
 	if train {
 		e.out = ref
@@ -118,9 +130,11 @@ func (e *elementwiseLayer) Forward(in *ActRef, train bool) *ActRef {
 func (e *elementwiseLayer) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dx := grad.Clone()
 	saved := e.out.T
-	for i := range dx.Data {
-		dx.Data[i] *= e.dFromOut(saved.Data[i])
-	}
+	parallel.For(len(dx.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dx.Data[i] *= e.dFromOut(saved.Data[i])
+		}
+	})
 	return dx
 }
 
@@ -179,13 +193,15 @@ func (l *LeakyReLU) SavedRefs() []*ActRef {
 func (l *LeakyReLU) Forward(in *ActRef, train bool) *ActRef {
 	x := in.T
 	out := tensor.NewLike(x)
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
-		} else {
-			out.Data[i] = l.Alpha * v
+	parallel.For(len(x.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := x.Data[i]; v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = l.Alpha * v
+			}
 		}
-	}
+	})
 	ref := &ActRef{Name: l.LayerName + ".out", Kind: compress.KindConv, T: out}
 	if train {
 		l.out = ref
@@ -197,10 +213,12 @@ func (l *LeakyReLU) Forward(in *ActRef, train bool) *ActRef {
 func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dx := grad.Clone()
 	saved := l.out.T
-	for i := range dx.Data {
-		if saved.Data[i] <= 0 {
-			dx.Data[i] *= l.Alpha
+	parallel.For(len(dx.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if saved.Data[i] <= 0 {
+				dx.Data[i] *= l.Alpha
+			}
 		}
-	}
+	})
 	return dx
 }

@@ -1,67 +1,90 @@
 package nn
 
+import "jpegact/internal/parallel"
+
+// gemmMinWork is the minimum number of multiply-adds one parallel chunk
+// should carry; below it the goroutine overhead dominates and the
+// kernels fall back to the serial path.
+const gemmMinWork = 1 << 15
+
 // Gemm computes C += A·B for row-major matrices: A is M×K, B is K×N,
 // C is M×N. The k-outer loop with a row broadcast keeps the inner loop a
 // contiguous saxpy, which the Go compiler vectorizes reasonably well —
 // the workhorse behind im2col convolution and the linear layer.
+//
+// Rows of C are distributed over the worker pool; each row is computed
+// entirely by one worker in the serial summation order, so the result is
+// bit-identical to the single-threaded kernel at any worker count.
 func Gemm(m, k, n int, a, b, c []float32) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("nn: gemm size mismatch")
 	}
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		crow := c[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b[kk*n : (kk+1)*n]
-			for j := range brow {
-				crow[j] += av * brow[j]
+	parallel.For(m, parallel.Grain(k*n, gemmMinWork), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			crow := c[i*n : (i+1)*n]
+			for kk := 0; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := b[kk*n : (kk+1)*n]
+				for j := range brow {
+					crow[j] += av * brow[j]
+				}
 			}
 		}
-	}
+	})
 }
 
 // GemmTA computes C += Aᵀ·B where A is K×M (so Aᵀ is M×K), B is K×N,
 // C is M×N.
+//
+// Workers own disjoint row ranges of C; within a range the k loop stays
+// outermost, so every C element accumulates in ascending-k order exactly
+// as the serial kernel does — no per-worker partials, no reduction, and
+// bit-identical output at any worker count.
 func GemmTA(m, k, n int, a, b, c []float32) {
 	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
 		panic("nn: gemmTA size mismatch")
 	}
-	for kk := 0; kk < k; kk++ {
-		arow := a[kk*m : (kk+1)*m]
-		brow := b[kk*n : (kk+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			crow := c[i*n : (i+1)*n]
-			for j := range brow {
-				crow[j] += av * brow[j]
+	parallel.For(m, parallel.Grain(k*n, gemmMinWork), func(lo, hi int) {
+		for kk := 0; kk < k; kk++ {
+			arow := a[kk*m : (kk+1)*m]
+			brow := b[kk*n : (kk+1)*n]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := c[i*n : (i+1)*n]
+				for j := range brow {
+					crow[j] += av * brow[j]
+				}
 			}
 		}
-	}
+	})
 }
 
 // GemmTB computes C += A·Bᵀ where A is M×K, B is N×K (so Bᵀ is K×N),
-// C is M×N.
+// C is M×N. Parallel over row blocks of C, same determinism argument as
+// Gemm.
 func GemmTB(m, k, n int, a, b, c []float32) {
 	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
 		panic("nn: gemmTB size mismatch")
 	}
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		crow := c[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b[j*k : (j+1)*k]
-			var sum float32
-			for kk := range arow {
-				sum += arow[kk] * brow[kk]
+	parallel.For(m, parallel.Grain(k*n, gemmMinWork), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			crow := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b[j*k : (j+1)*k]
+				var sum float32
+				for kk := range arow {
+					sum += arow[kk] * brow[kk]
+				}
+				crow[j] += sum
 			}
-			crow[j] += sum
 		}
-	}
+	})
 }

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"runtime"
+	"testing"
+
+	"jpegact/internal/parallel"
+	"jpegact/internal/tensor"
+)
+
+// The parallel GEMMs partition output rows so each element is still
+// accumulated in the serial k-order; the result must therefore be
+// exactly (bit-for-bit) equal to the single-worker result, not merely
+// close. These tests pin that for all three kernels.
+
+func gemmTestOperands(m, k, n int, seed uint64) (a, b, c []float32) {
+	r := tensor.NewRNG(seed)
+	a = make([]float32, m*k)
+	b = make([]float32, k*n)
+	c = make([]float32, m*n)
+	for i := range a {
+		a[i] = float32(r.Norm())
+	}
+	for i := range b {
+		b[i] = float32(r.Norm())
+	}
+	return
+}
+
+func TestGemmDeterministicAcrossWorkers(t *testing.T) {
+	const m, k, n = 33, 47, 29
+	kernels := []struct {
+		name string
+		run  func(a, b, c []float32)
+	}{
+		// Gemm/GemmTB index (m,k)×(k,n); GemmTA reads a as (k,m) and
+		// GemmTB reads b as (n,k) — same element counts, reinterpreted.
+		{"Gemm", func(a, b, c []float32) { Gemm(m, k, n, a, b, c) }},
+		{"GemmTA", func(a, b, c []float32) { GemmTA(m, k, n, a, b, c) }},
+		{"GemmTB", func(a, b, c []float32) { GemmTB(m, k, n, a, b, c) }},
+	}
+	for _, kr := range kernels {
+		a, b, ref := gemmTestOperands(m, k, n, 42)
+		old := parallel.SetWorkers(1)
+		kr.run(a, b, ref)
+		parallel.SetWorkers(old)
+		for _, w := range []int{2, 3, runtime.GOMAXPROCS(0)} {
+			got := make([]float32, m*n)
+			old := parallel.SetWorkers(w)
+			kr.run(a, b, got)
+			parallel.SetWorkers(old)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%s workers=%d: element %d = %v, serial %v (must be bit-identical)",
+						kr.name, w, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}

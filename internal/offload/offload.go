@@ -78,11 +78,7 @@ func (s *Store) Offload(ref *nn.ActRef) error {
 			p := compress.JPEGAct(s.DQT)
 			p.S = s.S
 			blocks, scales, info := p.QuantizeBlocks(x)
-			flat := make([]int8, 0, len(blocks)*64)
-			for i := range blocks {
-				flat = append(flat, blocks[i][:]...)
-			}
-			e.jpegStream = coding.EncodeZVC(flat)
+			e.jpegStream = coding.EncodeZVCBlocks(blocks)
 			e.scales = scales
 			e.info = info
 			ref.T = nil
@@ -120,13 +116,9 @@ func (s *Store) Restore(ref *nn.ActRef) error {
 		return nil // the mask already lives on the ref
 	case e.jpegStream != nil:
 		nBlocks := e.info.PaddedElems() / 64
-		flat, err := coding.DecodeZVC(e.jpegStream, nBlocks*64)
+		blocks, err := coding.DecodeZVCBlocks(e.jpegStream, nBlocks)
 		if err != nil {
 			return err
-		}
-		blocks := make([][64]int8, nBlocks)
-		for i := range blocks {
-			copy(blocks[i][:], flat[i*64:(i+1)*64])
 		}
 		p := compress.JPEGAct(s.DQT)
 		p.S = s.S

@@ -1,0 +1,88 @@
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8} {
+		old := SetWorkers(w)
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			for _, grain := range []int{1, 3, 64, 5000} {
+				hits := make([]int32, n)
+				For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("workers=%d n=%d grain=%d: bad range [%d,%d)", w, n, grain, lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d hit %d times", w, n, grain, i, h)
+					}
+				}
+			}
+		}
+		SetWorkers(old)
+	}
+}
+
+func TestForSerialFallbackRunsInline(t *testing.T) {
+	old := SetWorkers(4)
+	defer SetWorkers(old)
+	// A single chunk must run as one inline fn(0, n) call.
+	calls := 0
+	For(10, 100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("expected one [0,10) call, got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("expected 1 inline call, got %d", calls)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	orig := Workers()
+	if prev := SetWorkers(3); prev != orig {
+		t.Fatalf("SetWorkers returned %d, want %d", prev, orig)
+	}
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(0) // restore default
+	if w := Workers(); w < 1 {
+		t.Fatalf("default workers = %d, want >= 1", w)
+	}
+	SetWorkers(orig)
+}
+
+func TestEnvOverride(t *testing.T) {
+	os.Setenv(EnvWorkers, "5")
+	defer os.Unsetenv(EnvWorkers)
+	if got := defaultWorkers(); got != 5 {
+		t.Fatalf("defaultWorkers with %s=5 = %d", EnvWorkers, got)
+	}
+	os.Setenv(EnvWorkers, "bogus")
+	if got := defaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("defaultWorkers with bogus env = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestGrain(t *testing.T) {
+	if g := Grain(100, 1000); g != 10 {
+		t.Fatalf("Grain(100,1000) = %d, want 10", g)
+	}
+	if g := Grain(10000, 100); g != 1 {
+		t.Fatalf("Grain(10000,100) = %d, want 1", g)
+	}
+	if g := Grain(0, 100); g != 100 {
+		t.Fatalf("Grain(0,100) = %d, want 100", g)
+	}
+}

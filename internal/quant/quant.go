@@ -170,6 +170,13 @@ func ShiftDequantize(q *[64]int8, logs *[64]uint8, out *[64]int32) {
 // the DCT runs in float but the quantizer still snaps to powers of two).
 func ShiftQuantizeFloat(coef *[64]float32, d *DQT, out *[64]int8) {
 	logs := d.ShiftLogs()
+	ShiftQuantizeFloatLogs(coef, &logs, out)
+}
+
+// ShiftQuantizeFloatLogs is ShiftQuantizeFloat with the shift table
+// precomputed, for per-block callers that hoist d.ShiftLogs() (64
+// log2+round calls) out of their block loop.
+func ShiftQuantizeFloatLogs(coef *[64]float32, logs *[64]uint8, out *[64]int8) {
 	for i, c := range coef {
 		div := float64(int32(1) << logs[i])
 		out[i] = clipInt8(roundHalfAway(float64(c) / div))
@@ -179,6 +186,12 @@ func ShiftQuantizeFloat(coef *[64]float32, d *DQT, out *[64]int8) {
 // ShiftDequantizeFloat reverses ShiftQuantizeFloat.
 func ShiftDequantizeFloat(q *[64]int8, d *DQT, out *[64]float32) {
 	logs := d.ShiftLogs()
+	ShiftDequantizeFloatLogs(q, &logs, out)
+}
+
+// ShiftDequantizeFloatLogs is ShiftDequantizeFloat with the shift table
+// precomputed (see ShiftQuantizeFloatLogs).
+func ShiftDequantizeFloatLogs(q *[64]int8, logs *[64]uint8, out *[64]float32) {
 	for i, v := range q {
 		out[i] = float32(int32(v) << logs[i])
 	}

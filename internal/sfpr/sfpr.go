@@ -14,8 +14,13 @@ package sfpr
 import (
 	"math"
 
+	"jpegact/internal/parallel"
 	"jpegact/internal/tensor"
 )
+
+// quantGrain is the minimum per-chunk element count for the parallel
+// quantize/dequantize loops.
+const quantGrain = 4096
 
 // DefaultS is the global scaling factor selected in §III-B (Fig. 10): it
 // minimizes the combined clipping+truncation error of SFPR, JPEG-BASE and
@@ -36,32 +41,41 @@ func (c *Compressed) Bytes() int { return len(c.Values) + 4*len(c.Scales) }
 
 // Compress applies SFPR with global scale S to x.
 func Compress(x *tensor.Tensor, s float64) *Compressed {
-	maxes := x.ChannelMaxAbs()
-	scales := make([]float32, len(maxes))
-	for c, m := range maxes {
-		if m > 0 {
-			scales[c] = float32(s / float64(m))
-		}
-	}
+	scales := make([]float32, x.Shape.C)
+	ComputeScales(x, s, scales)
 	out := &Compressed{Shape: x.Shape, Values: make([]int8, x.Elems()), Scales: scales}
 	QuantizeInto(x, scales, out.Values)
 	return out
 }
 
+// ComputeScales fills scales (len = C) with the per-channel factors of
+// Eqn. 4: s over the channel max magnitude, 0 for all-zero channels.
+func ComputeScales(x *tensor.Tensor, s float64, scales []float32) {
+	maxes := x.ChannelMaxAbs()
+	for c, m := range maxes {
+		if m > 0 {
+			scales[c] = float32(s / float64(m))
+		} else {
+			scales[c] = 0
+		}
+	}
+}
+
 // QuantizeInto performs the integer cast of Eqn. 5 given precomputed
-// per-channel scales, writing into vals (len = x.Elems()).
+// per-channel scales, writing into vals (len = x.Elems()). The (n, c)
+// planes are independent, so they shard over the worker pool.
 func QuantizeInto(x *tensor.Tensor, scales []float32, vals []int8) {
 	sh := x.Shape
 	hw := sh.H * sh.W
-	for n := 0; n < sh.N; n++ {
-		for c := 0; c < sh.C; c++ {
-			sc := scales[c]
-			base := (n*sh.C + c) * hw
+	parallel.For(sh.N*sh.C, parallel.Grain(hw, quantGrain), func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			sc := scales[nc%sh.C]
+			base := nc * hw
 			for i := 0; i < hw; i++ {
 				vals[base+i] = quantizeOne(x.Data[base+i], sc)
 			}
 		}
-	}
+	})
 }
 
 func quantizeOne(v, sc float32) int8 {
@@ -94,18 +108,18 @@ func Decompress(c *Compressed) *tensor.Tensor {
 func DequantizeInto(vals []int8, scales []float32, x *tensor.Tensor) {
 	sh := x.Shape
 	hw := sh.H * sh.W
-	for n := 0; n < sh.N; n++ {
-		for c := 0; c < sh.C; c++ {
+	parallel.For(sh.N*sh.C, parallel.Grain(hw, quantGrain), func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
 			var inv float32
-			if scales[c] != 0 {
-				inv = 1 / (scales[c] * 128)
+			if sc := scales[nc%sh.C]; sc != 0 {
+				inv = 1 / (sc * 128)
 			}
-			base := (n*sh.C + c) * hw
+			base := nc * hw
 			for i := 0; i < hw; i++ {
 				x.Data[base+i] = float32(vals[base+i]) * inv
 			}
 		}
-	}
+	})
 }
 
 // Roundtrip compresses and immediately decompresses x, the functional

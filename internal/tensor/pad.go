@@ -19,6 +19,25 @@ func (p PadInfo) Overhead() float64 {
 	return float64(p.PaddedElems())/float64(p.Orig.Elems()) - 1
 }
 
+// BlockPadInfo computes the padding geometry for shape s at the given
+// block size without touching any data — the paper's NCH,W padding
+// scheme (Fig. 12) reduced to arithmetic. Callers that only need the
+// geometry (container decode, pooled pipeline scratch) use this instead
+// of materializing a tensor.
+func BlockPadInfo(s Shape, block int) PadInfo {
+	rows := s.N * s.C * s.H
+	cols := s.W
+	pr := (block - rows%block) % block
+	pc := (block - cols%block) % block
+	return PadInfo{
+		Orig:      s,
+		PadRows:   pr,
+		PadCols:   pc,
+		BlockRows: rows + pr,
+		BlockCols: cols + pc,
+	}
+}
+
 // PadForBlocks reshapes t to a 2D (NCH)×W matrix and zero-pads both
 // dimensions up to a multiple of block (8 for JPEG). This follows the
 // paper's NCH,W padding scheme: the 4D tensor R^{N×C×H×W} is viewed as
@@ -29,15 +48,8 @@ func PadForBlocks(t *Tensor, block int) ([]float32, PadInfo) {
 	s := t.Shape
 	rows := s.N * s.C * s.H
 	cols := s.W
-	pr := (block - rows%block) % block
-	pc := (block - cols%block) % block
-	info := PadInfo{
-		Orig:      s,
-		PadRows:   pr,
-		PadCols:   pc,
-		BlockRows: rows + pr,
-		BlockCols: cols + pc,
-	}
+	info := BlockPadInfo(s, block)
+	pr, pc := info.PadRows, info.PadCols
 	if pr == 0 && pc == 0 {
 		// Already aligned: the reshape is free, reuse the data.
 		return t.Data, info

@@ -13,6 +13,7 @@ import (
 	"jpegact/internal/data"
 	"jpegact/internal/models"
 	"jpegact/internal/nn"
+	"jpegact/internal/parallel"
 	"jpegact/internal/tensor"
 )
 
@@ -37,6 +38,19 @@ type Config struct {
 	// Optimizer selects the update rule: "sgd" (default), "nesterov" or
 	// "adam".
 	Optimizer string
+	// Workers overrides the parallel worker count for the duration of
+	// the run (0 keeps the global setting: JPEGACT_WORKERS or
+	// GOMAXPROCS). Results are bit-identical at any worker count.
+	Workers int
+}
+
+// applyWorkers installs cfg.Workers and returns a restore func.
+func (c Config) applyWorkers() func() {
+	if c.Workers <= 0 {
+		return func() {}
+	}
+	prev := parallel.SetWorkers(c.Workers)
+	return func() { parallel.SetWorkers(prev) }
 }
 
 // newOptimizer builds the configured optimizer. The step-decay schedule
@@ -176,6 +190,7 @@ func maybeDecay(cfg Config, opt nn.Optimizer, epoch int) {
 // returns the per-epoch statistics.
 func Classifier(m *models.Model, ds *data.Classification, cfg Config) Report {
 	cfg = cfg.withDefaults()
+	defer cfg.applyWorkers()()
 	rep := Report{ModelName: m.Name, MethodName: cfg.Method.Name()}
 	opt := cfg.newOptimizer()
 
@@ -234,6 +249,7 @@ func Classifier(m *models.Model, ds *data.Classification, cfg Config) Report {
 // SuperResolution trains the VDSR model on synthetic pairs, scoring PSNR.
 func SuperResolution(m *models.Model, ds *data.SuperRes, cfg Config) Report {
 	cfg = cfg.withDefaults()
+	defer cfg.applyWorkers()()
 	rep := Report{ModelName: m.Name, MethodName: cfg.Method.Name()}
 	opt := cfg.newOptimizer()
 

@@ -30,11 +30,22 @@ import (
 	"jpegact/internal/experiments"
 	"jpegact/internal/gpusim"
 	"jpegact/internal/models"
+	"jpegact/internal/parallel"
 	"jpegact/internal/quant"
 	"jpegact/internal/sfpr"
 	"jpegact/internal/tensor"
 	"jpegact/internal/train"
 )
+
+// SetParallelWorkers sets the worker count used by every parallel hot
+// path (GEMM, im2col, the block compression pipeline, ZVC coding) and
+// returns the previous value. n <= 0 restores the default: the
+// JPEGACT_WORKERS environment variable, else GOMAXPROCS. Compressed
+// output and training results are bit-identical at any worker count.
+func SetParallelWorkers(n int) int { return parallel.SetWorkers(n) }
+
+// ParallelWorkers returns the current parallel worker count.
+func ParallelWorkers() int { return parallel.Workers() }
 
 // Tensor is a dense float32 NCHW activation tensor.
 type Tensor = tensor.Tensor

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Runs the parallel-path micro-benchmarks and writes BENCH_parallel.json
+# at the repo root. Usage:
+#
+#   scripts/bench.sh          # record the "after" numbers
+#   scripts/bench.sh before   # record a "before" baseline (e.g. on the
+#                             # parent commit) into BENCH_parallel.before.txt
+#
+# The committed BENCH_parallel.json pairs the seed baseline (captured on
+# the pre-parallel tree) with the current tree's numbers.
+set -e
+cd "$(dirname "$0")/.."
+
+label="${1:-after}"
+out="BENCH_parallel.${label}.txt"
+
+go test -run '^$' -benchtime=20x -benchmem \
+  -bench 'BenchmarkGemm$|BenchmarkGemmTA$|BenchmarkGemmTB$|BenchmarkQuantizeBlocks$|BenchmarkReconstructBlocks$|BenchmarkRoundtripZVC$|BenchmarkCompressJPEGACT$|BenchmarkTrainStep$' \
+  ./... | tee "$out"
+
+echo "wrote $out (GOMAXPROCS=$(go env GOMAXPROCS 2>/dev/null || echo "$(nproc)") cores=$(nproc))"
+echo "merge before/after into BENCH_parallel.json by hand or rerun the recording step"
