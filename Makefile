@@ -17,6 +17,18 @@ race:
 bench:
 	go test -run '^$$' -bench 'BenchmarkGemm|BenchmarkQuantizeBlocks|BenchmarkReconstructBlocks|BenchmarkRoundtripZVC|BenchmarkCompressJPEGACT|BenchmarkTrainStep' -benchmem ./...
 
+# Fuzz sweep: every decoder fuzz target for 10s each. Go runs one fuzz
+# target per invocation, so loop over the discovered names. The offload
+# container decoder (FuzzDecodeFrame) is the one that faces an untrusted
+# channel — it must survive arbitrary bytes without a panic.
+FUZZTIME ?= 10s
+.PHONY: fuzz
+fuzz:
+	@for t in $$(go test -list '^Fuzz' ./internal/coding/ | grep '^Fuzz'); do \
+		echo "== $$t"; \
+		go test -run '^$$' -fuzz "^$$t$$" -fuzztime=$(FUZZTIME) ./internal/coding/ || exit 1; \
+	done
+
 .PHONY: fmt
 fmt:
 	gofmt -l -w .

@@ -7,6 +7,12 @@
 //	acttrain -model ResNet50 -method jpeg-act -epochs 6
 //	acttrain -model VDSR -method gist
 //	acttrain -model WRN -method jpeg-base80 -epochs 8 -lr 0.03
+//
+// With -offload the activations really cross a host-memory channel as
+// framed CRC-checked buffers; -flip/-trunc/-drop inject channel faults
+// and -policy selects the recovery (fail|retry|recompute):
+//
+//	acttrain -model ResNet18 -offload -flip 1e-5 -policy recompute
 package main
 
 import (
@@ -53,6 +59,14 @@ func main() {
 	width := flag.Int("width", 8, "base channel width")
 	blocks := flag.Int("blocks", 1, "residual blocks per stage")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
+	useOffload := flag.Bool("offload", false,
+		"route activations through the real host-memory offload channel")
+	policy := flag.String("policy", "recompute",
+		"corruption recovery with -offload: fail|retry|recompute")
+	flip := flag.Float64("flip", 0, "channel bit-flip rate per byte")
+	trunc := flag.Float64("trunc", 0, "channel truncation rate per transfer")
+	drop := flag.Float64("drop", 0, "channel drop rate per transfer")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault injector seed")
 	flag.Parse()
 
 	m, ok := methodByName(*method)
@@ -65,6 +79,11 @@ func main() {
 		BatchSize: *batch, LR: *lr, MeasureError: true,
 	}
 	sc := jpegact.ModelScale{Width: *width, Blocks: *blocks}
+
+	if *useOffload {
+		runOffloaded(*model, sc, cfg, *seed, *policy, *flip, *trunc, *drop, *faultSeed)
+		return
+	}
 
 	var rep jpegact.TrainReport
 	if *model == "VDSR" {
@@ -92,6 +111,59 @@ func main() {
 				float64(fe.OriginalBytes)/float64(fe.CompressedBytes))
 		}
 	}
+	if rep.Diverged {
+		os.Exit(1)
+	}
+}
+
+// runOffloaded trains over the real host-memory channel, optionally
+// fault-injected, and reports the store's recovery counters.
+func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, seed uint64, policy string, flip, trunc, drop float64, faultSeed uint64) {
+	if model == "VDSR" {
+		fmt.Fprintln(os.Stderr, "acttrain: -offload supports the classification models only")
+		os.Exit(2)
+	}
+	var pol jpegact.RecoveryPolicy
+	switch strings.ToLower(policy) {
+	case "fail":
+		pol = jpegact.RecoverFail
+	case "retry":
+		pol = jpegact.RecoverRetry
+	case "recompute":
+		pol = jpegact.RecoverRecompute
+	default:
+		fmt.Fprintf(os.Stderr, "acttrain: unknown policy %q\n", policy)
+		os.Exit(2)
+	}
+	oc := jpegact.OffloadTrainOptions{DQT: jpegact.OptL(), Policy: pol, Verbose: true}
+	var inj *jpegact.FaultInjector
+	if flip > 0 || trunc > 0 || drop > 0 {
+		inj = jpegact.NewFaultInjector(jpegact.FaultConfig{
+			Seed: faultSeed, BitFlipPerByte: flip, TruncationRate: trunc, DropRate: drop,
+		})
+		oc.Channel = inj
+	}
+
+	rep, stats, err := jpegact.TrainClassifierOffloaded(model, sc, cfg, oc, seed)
+	fmt.Printf("model=%s method=%s\n", rep.ModelName, rep.MethodName)
+	fmt.Printf("%-6s %-9s %-9s %-8s\n", "epoch", "loss", "score", "ratio")
+	for _, e := range rep.Epochs {
+		fmt.Printf("%-6d %-9.4f %-9.4f %-8.2f\n", e.Epoch, e.Loss, e.Score, e.CompressionRatio)
+	}
+	fmt.Printf("channel: offloaded=%d restored=%d corrupted=%d retried=%d recomputed=%d verified=%dB\n",
+		stats.Offloaded, stats.Restored, stats.Corrupted, stats.Retried,
+		stats.Recomputed, stats.BytesVerified)
+	if inj != nil {
+		s := inj.Stats()
+		fmt.Printf("injector: transfers=%d flips=%d truncations=%d drops=%d forced=%d\n",
+			s.Transfers, s.Flips, s.Truncations, s.Drops, s.Forced)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acttrain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("best score %.4f, final ratio %.2fx, diverged=%v\n",
+		rep.BestScore, rep.FinalRatio, rep.Diverged)
 	if rep.Diverged {
 		os.Exit(1)
 	}

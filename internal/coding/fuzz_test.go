@@ -1,6 +1,12 @@
 package coding
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"jpegact/internal/frame"
+	"jpegact/internal/tensor"
+)
 
 // Native fuzz targets: every decoder must return an error (or garbage
 // values) on arbitrary input — never panic, never over-allocate. The
@@ -54,6 +60,51 @@ func FuzzDecodeRLE(f *testing.F) {
 			return
 		}
 		_, _ = DecodeRLE(data, n)
+	})
+}
+
+func FuzzDecodeBRC(f *testing.F) {
+	f.Add(EncodeBRC([]float32{1, -2, 0, 3, 0, 0, -1, 4, 5}), 9)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xAA}, 8)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 1<<16 {
+			return
+		}
+		mask, err := DecodeBRC(data, n)
+		if err == nil && len(mask) != n {
+			t.Fatalf("decoded %d mask bits, want %d", len(mask), n)
+		}
+	})
+}
+
+// FuzzDecodeFrame drives the offload container decoder with arbitrary
+// bytes: it must return a typed error or a frame that re-encodes
+// byte-identically — and never panic or over-allocate.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(frame.EncodeFrame(&frame.Frame{
+		Codec:   frame.CodecJPEG,
+		Kind:    2,
+		Shape:   tensor.Shape{N: 1, C: 3, H: 8, W: 8},
+		Scales:  []float32{0.5, 1.25, -3},
+		Payload: []byte{1, 2, 3, 0, 0, 7},
+	}))
+	f.Add(frame.EncodeFrame(&frame.Frame{
+		Codec:   frame.CodecBRC,
+		Kind:    1,
+		Shape:   tensor.Shape{N: 1, C: 1, H: 4, W: 4},
+		Payload: []byte{0xff, 0x0f},
+	}))
+	f.Add([]byte("JAFR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := frame.DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if re := frame.EncodeFrame(fr); !bytes.Equal(re, data) {
+			t.Fatalf("decoded frame does not re-encode byte-identically")
+		}
 	})
 }
 

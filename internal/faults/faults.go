@@ -1,0 +1,191 @@
+// Package faults provides a deterministic, seeded fault injector for the
+// offload channel. The paper's system (Fig. 7) round-trips every saved
+// activation over PCIe DMA into CPU DRAM — a physical channel that in
+// real deployments sees bit flips, truncated transfers and lost buffers.
+// The Injector simulates that misbehaving hardware at configurable rates
+// so the store's detection (frame CRCs) and recovery (retry, recompute)
+// paths can be exercised reproducibly in tests and experiments.
+//
+// The Injector satisfies the offload.Channel interface structurally:
+// Send models the GPU→host DMA (faults there are persistent — the
+// corrupted bytes are what lands in host memory, so re-reads see the
+// same damage), Recv models the host→GPU read-back (faults there are
+// transient — a retry re-transfers the intact host copy and may
+// succeed).
+package faults
+
+import (
+	"sync"
+
+	"jpegact/internal/tensor"
+)
+
+// Config sets the fault rates. All rates are probabilities in [0, 1];
+// the zero value is a clean channel.
+type Config struct {
+	// Seed drives the injector's private RNG; identical seeds and
+	// identical transfer sequences produce identical faults.
+	Seed uint64
+	// BitFlipPerByte is the per-byte probability that one random bit of
+	// that byte is flipped (e.g. 1e-5 ≈ one flip per 100 KB).
+	BitFlipPerByte float64
+	// TruncationRate is the per-transfer probability that the buffer is
+	// cut to a random prefix.
+	TruncationRate float64
+	// DropRate is the per-transfer probability that the buffer is lost
+	// entirely (the transfer yields nil).
+	DropRate float64
+	// OnSend applies the faults on the Send (store) side, making them
+	// persistent: retries re-read the same corrupted host copy. The
+	// default strikes on Recv, where corruption is transient.
+	OnSend bool
+}
+
+// Event describes one injected fault, for observer hooks.
+type Event struct {
+	Transfer int    // sequence number of the faulted transfer
+	Op       string // "send" or "recv"
+	Kind     string // "bitflip", "truncate" or "drop"
+	Offset   int    // byte offset (bitflip) or resulting length (truncate)
+}
+
+// Stats counts the injector's activity.
+type Stats struct {
+	Transfers   uint64 // total Send+Recv calls
+	Flips       uint64 // individual bits flipped
+	Truncations uint64
+	Drops       uint64
+	Forced      uint64 // transfers corrupted by ForceNext* hooks
+}
+
+// Injector is a deterministic fault-injecting channel. It is safe for
+// concurrent use; fault decisions are serialized in call order.
+type Injector struct {
+	mu        sync.Mutex
+	cfg       Config
+	rng       *tensor.RNG
+	transfers int
+	forceSend int
+	forceRecv int
+	stats     Stats
+	// OnFault, when set, observes every injected fault.
+	OnFault func(Event)
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: tensor.NewRNG(cfg.Seed)}
+}
+
+// Send models the GPU→host transfer, returning the bytes as they land in
+// host memory (corrupted persistently when faults strike the send side).
+func (in *Injector) Send(b []byte) []byte {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	seq := in.transfers
+	in.transfers++
+	in.stats.Transfers++
+	forced := in.forceSend > 0
+	if forced {
+		in.forceSend--
+	}
+	if !forced && !in.cfg.OnSend {
+		return b
+	}
+	return in.corrupt(b, "send", seq, forced)
+}
+
+// Recv models the host→GPU read-back. Faults here are transient: a
+// retry calls Recv again on the same intact host copy.
+func (in *Injector) Recv(b []byte) []byte {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	seq := in.transfers
+	in.transfers++
+	in.stats.Transfers++
+	forced := in.forceRecv > 0
+	if forced {
+		in.forceRecv--
+	}
+	if !forced && in.cfg.OnSend {
+		return b
+	}
+	return in.corrupt(b, "recv", seq, forced)
+}
+
+// ForceNextSend forces the next n Send transfers to be corrupted (a
+// deterministic single-bit flip), regardless of the configured rates.
+func (in *Injector) ForceNextSend(n int) {
+	in.mu.Lock()
+	in.forceSend += n
+	in.mu.Unlock()
+}
+
+// ForceNextRecv forces the next n Recv transfers to be corrupted.
+func (in *Injector) ForceNextRecv(n int) {
+	in.mu.Lock()
+	in.forceRecv += n
+	in.mu.Unlock()
+}
+
+// Stats returns a snapshot of the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// corrupt applies one transfer's faults to b, copying before mutation so
+// the caller's buffer is never damaged in place. Called with mu held.
+func (in *Injector) corrupt(b []byte, op string, seq int, forced bool) []byte {
+	if forced {
+		// Deterministic single-bit flip, aimed past the fixed header so
+		// it reliably lands in the checksummed scales/payload region.
+		in.stats.Forced++
+		if len(b) == 0 {
+			return b
+		}
+		out := append([]byte(nil), b...)
+		off := 3 * len(out) / 4
+		out[off] ^= 1
+		in.stats.Flips++
+		in.emit(Event{Transfer: seq, Op: op, Kind: "bitflip", Offset: off})
+		return out
+	}
+	if in.cfg.DropRate > 0 && in.rng.Float64() < in.cfg.DropRate {
+		in.stats.Drops++
+		in.emit(Event{Transfer: seq, Op: op, Kind: "drop"})
+		return nil
+	}
+	if in.cfg.TruncationRate > 0 && in.rng.Float64() < in.cfg.TruncationRate {
+		cut := int(in.rng.Uint64() % uint64(len(b)+1))
+		in.stats.Truncations++
+		in.emit(Event{Transfer: seq, Op: op, Kind: "truncate", Offset: cut})
+		b = append([]byte(nil), b[:cut]...)
+		// Fall through: flips may still strike the surviving prefix.
+	}
+	if in.cfg.BitFlipPerByte > 0 {
+		var out []byte
+		for i := range b {
+			if in.rng.Float64() < in.cfg.BitFlipPerByte {
+				if out == nil {
+					out = append([]byte(nil), b...)
+				}
+				bit := uint(in.rng.Uint64() % 8)
+				out[i] ^= 1 << bit
+				in.stats.Flips++
+				in.emit(Event{Transfer: seq, Op: op, Kind: "bitflip", Offset: i})
+			}
+		}
+		if out != nil {
+			return out
+		}
+	}
+	return b
+}
+
+func (in *Injector) emit(e Event) {
+	if in.OnFault != nil {
+		in.OnFault(e)
+	}
+}

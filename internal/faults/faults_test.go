@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+func payload(n int, fill byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestCleanPassthrough(t *testing.T) {
+	in := New(Config{Seed: 1})
+	b := payload(256, 0xAB)
+	if got := in.Send(b); &got[0] != &b[0] {
+		t.Fatal("clean Send must pass the buffer through unchanged")
+	}
+	if got := in.Recv(b); &got[0] != &b[0] {
+		t.Fatal("clean Recv must pass the buffer through unchanged")
+	}
+	if s := in.Stats(); s.Transfers != 2 || s.Flips != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDeterministicSameSeed(t *testing.T) {
+	cfg := Config{Seed: 42, BitFlipPerByte: 0.01, TruncationRate: 0.05, DropRate: 0.02}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 200; i++ {
+		buf := payload(64+i, byte(i))
+		ra, rb := a.Recv(buf), b.Recv(buf)
+		if !bytes.Equal(ra, rb) {
+			t.Fatalf("transfer %d diverged between same-seed injectors", i)
+		}
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Fatalf("stats diverged: %+v vs %+v", sa, sb)
+	}
+	if sa.Flips == 0 || sa.Truncations == 0 || sa.Drops == 0 {
+		t.Fatalf("expected all fault kinds at these rates: %+v", sa)
+	}
+}
+
+func TestNeverMutatesCallerBuffer(t *testing.T) {
+	in := New(Config{Seed: 3, BitFlipPerByte: 0.5, TruncationRate: 0.3, DropRate: 0.1})
+	orig := payload(128, 0x5A)
+	keep := append([]byte(nil), orig...)
+	for i := 0; i < 50; i++ {
+		in.Recv(orig)
+		if !bytes.Equal(orig, keep) {
+			t.Fatal("injector mutated the caller's buffer in place")
+		}
+	}
+}
+
+func TestSendRecvSides(t *testing.T) {
+	// Default (transient) config corrupts only Recv.
+	tr := New(Config{Seed: 4, BitFlipPerByte: 1})
+	b := payload(64, 0)
+	if got := tr.Send(b); !bytes.Equal(got, b) {
+		t.Fatal("transient injector corrupted Send")
+	}
+	if got := tr.Recv(b); bytes.Equal(got, b) {
+		t.Fatal("transient injector left Recv clean at rate 1")
+	}
+	// Persistent config corrupts only Send.
+	pe := New(Config{Seed: 4, BitFlipPerByte: 1, OnSend: true})
+	if got := pe.Send(b); bytes.Equal(got, b) {
+		t.Fatal("persistent injector left Send clean at rate 1")
+	}
+	if got := pe.Recv(b); !bytes.Equal(got, b) {
+		t.Fatal("persistent injector corrupted Recv")
+	}
+}
+
+func TestForcedHooks(t *testing.T) {
+	in := New(Config{Seed: 5}) // zero rates: only forcing corrupts
+	var events []Event
+	in.OnFault = func(e Event) { events = append(events, e) }
+
+	b := payload(100, 0xFF)
+	in.ForceNextRecv(2)
+	r1, r2, r3 := in.Recv(b), in.Recv(b), in.Recv(b)
+	if bytes.Equal(r1, b) || bytes.Equal(r2, b) {
+		t.Fatal("forced Recv transfers not corrupted")
+	}
+	if !bytes.Equal(r3, b) {
+		t.Fatal("force count leaked past its budget")
+	}
+	// Forced flips are single-bit and deterministic.
+	if diff := countDiffBits(r1, b); diff != 1 {
+		t.Fatalf("forced corruption flipped %d bits, want 1", diff)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("forced corruption not deterministic")
+	}
+
+	in.ForceNextSend(1)
+	if got := in.Send(b); bytes.Equal(got, b) {
+		t.Fatal("forced Send transfer not corrupted")
+	}
+	s := in.Stats()
+	if s.Forced != 3 || s.Flips != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	if len(events) != 3 || events[0].Kind != "bitflip" || events[0].Op != "recv" {
+		t.Fatalf("events %+v", events)
+	}
+}
+
+func TestDropReturnsNil(t *testing.T) {
+	in := New(Config{Seed: 6, DropRate: 1})
+	if got := in.Recv(payload(32, 1)); got != nil {
+		t.Fatal("drop rate 1 must lose every transfer")
+	}
+	if s := in.Stats(); s.Drops != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestTruncationShortens(t *testing.T) {
+	in := New(Config{Seed: 7, TruncationRate: 1})
+	b := payload(64, 2)
+	seenShorter := false
+	for i := 0; i < 32; i++ {
+		if got := in.Recv(b); len(got) < len(b) {
+			seenShorter = true
+		}
+	}
+	if !seenShorter {
+		t.Fatal("truncation rate 1 never shortened a transfer")
+	}
+}
+
+func TestBitFlipRateScales(t *testing.T) {
+	// At 1e-2/byte over 100 KB, expect roughly 1000 flips — assert the
+	// count lands within a loose factor-of-2 band.
+	in := New(Config{Seed: 8, BitFlipPerByte: 1e-2})
+	total := 0
+	for i := 0; i < 100; i++ {
+		in.Recv(payload(1024, 3))
+		total += 1024
+	}
+	flips := int(in.Stats().Flips)
+	want := int(float64(total) * 1e-2)
+	if flips < want/2 || flips > want*2 {
+		t.Fatalf("%d flips over %d bytes; want ≈%d", flips, total, want)
+	}
+}
+
+func countDiffBits(a, b []byte) int {
+	n := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for x != 0 {
+			n += int(x & 1)
+			x >>= 1
+		}
+	}
+	return n
+}

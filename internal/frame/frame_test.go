@@ -1,0 +1,138 @@
+package frame
+
+import (
+	"errors"
+	"testing"
+
+	"jpegact/internal/tensor"
+)
+
+func sample() *Frame {
+	return &Frame{
+		Codec:   CodecJPEG,
+		Kind:    2,
+		Shape:   tensor.Shape{N: 1, C: 3, H: 8, W: 8},
+		Scales:  []float32{0.5, 1.25, -3},
+		Payload: []byte{1, 2, 3, 0, 0, 7},
+	}
+}
+
+func TestRoundtrip(t *testing.T) {
+	for _, f := range []*Frame{
+		sample(),
+		{Codec: CodecBRC, Kind: 1, Shape: tensor.Shape{N: 1, C: 1, H: 1, W: 1}, Payload: []byte{0xff}},
+		{Codec: CodecZVC, Kind: 3, Shape: tensor.Shape{N: 2, C: 2, H: 4, W: 4}, Scales: []float32{1, 2}},
+	} {
+		buf := EncodeFrame(f)
+		if len(buf) != f.EncodedSize() {
+			t.Fatalf("encoded %d bytes, EncodedSize says %d", len(buf), f.EncodedSize())
+		}
+		got, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Codec != f.Codec || got.Kind != f.Kind || got.Shape != f.Shape {
+			t.Fatalf("header mismatch: %+v vs %+v", got, f)
+		}
+		if len(got.Scales) != len(f.Scales) || len(got.Payload) != len(f.Payload) {
+			t.Fatalf("content length mismatch")
+		}
+		for i := range f.Scales {
+			if got.Scales[i] != f.Scales[i] {
+				t.Fatalf("scale %d: %v vs %v", i, got.Scales[i], f.Scales[i])
+			}
+		}
+		for i := range f.Payload {
+			if got.Payload[i] != f.Payload[i] {
+				t.Fatalf("payload byte %d differs", i)
+			}
+		}
+		// A decodable frame must re-encode byte-identically.
+		re := EncodeFrame(got)
+		if string(re) != string(buf) {
+			t.Fatal("re-encode not byte-identical")
+		}
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	good := EncodeFrame(sample())
+
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short", good[:3], ErrTruncated},
+		{"bad magic", append([]byte("XXXX"), good[4:]...), ErrBadMagic},
+		{"header only half", good[:HeaderSize-10], ErrTruncated},
+		{"cut payload", good[:len(good)-2], ErrTruncated},
+		{"trailing bytes", append(append([]byte(nil), good...), 0), ErrHeader},
+	}
+	// Version byte.
+	v := append([]byte(nil), good...)
+	v[4] = 99
+	cases = append(cases, struct {
+		name string
+		buf  []byte
+		want error
+	}{"version", v, ErrVersion})
+	// Bad codec (CRC recomputed would still fail first? codec checked
+	// before CRC, so flip codec only).
+	c := append([]byte(nil), good...)
+	c[5] = 0
+	cases = append(cases, struct {
+		name string
+		buf  []byte
+		want error
+	}{"codec", c, ErrHeader})
+	// Flip one payload bit: checksum.
+	p := append([]byte(nil), good...)
+	p[len(p)-1] ^= 0x10
+	cases = append(cases, struct {
+		name string
+		buf  []byte
+		want error
+	}{"payload flip", p, ErrChecksum})
+	// Flip one scale bit: checksum.
+	s := append([]byte(nil), good...)
+	s[HeaderSize+1] ^= 0x01
+	cases = append(cases, struct {
+		name string
+		buf  []byte
+		want error
+	}{"scale flip", s, ErrChecksum})
+	// Flip a shape bit (covered by the header CRC).
+	sh := append([]byte(nil), good...)
+	sh[9] ^= 0x40
+	cases = append(cases, struct {
+		name string
+		buf  []byte
+		want error
+	}{"shape flip", sh, ErrChecksum})
+
+	for _, tc := range cases {
+		if _, err := DecodeFrame(tc.buf); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestAllocationCaps(t *testing.T) {
+	// A frame declaring an enormous shape or payload must be rejected
+	// from the header alone, never allocated.
+	f := sample()
+	buf := EncodeFrame(f)
+	huge := append([]byte(nil), buf...)
+	// payloadLen = 1<<31 at offset 28.
+	huge[28], huge[29], huge[30], huge[31] = 0, 0, 0, 0x80
+	if _, err := DecodeFrame(huge); !errors.Is(err, ErrHeader) {
+		t.Fatalf("oversized payload: %v", err)
+	}
+	zero := append([]byte(nil), buf...)
+	zero[8], zero[9], zero[10], zero[11] = 0, 0, 0, 0 // N = 0
+	if _, err := DecodeFrame(zero); !errors.Is(err, ErrHeader) {
+		t.Fatalf("zero dim: %v", err)
+	}
+}

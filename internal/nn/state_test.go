@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"testing"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/tensor"
+)
+
+// TestForwardReplayBitExact is the property the recompute recovery path
+// rests on: capture the side-effect state, run a training forward, rewind,
+// run it again — both passes must produce bit-identical activations and
+// leave bit-identical BatchNorm/Dropout state.
+func TestForwardReplayBitExact(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	net := NewSequential("net",
+		NewConv2D("c1", 3, 8, 3, ConvOpts{Pad: 1}, rng),
+		NewBatchNorm("bn1", 8),
+		NewReLU("r1"),
+		NewDropout("drop", 0.3, rng),
+		NewResidual("res",
+			NewSequential("body",
+				NewConv2D("c2", 8, 8, 3, ConvOpts{Pad: 1}, rng),
+				NewBatchNorm("bn2", 8),
+			),
+			nil,
+		),
+	)
+	x := tensor.New(2, 3, 8, 8)
+	x.FillNormal(rng, 0, 1)
+
+	pre := CaptureNetState(net)
+	out1 := net.Forward(&ActRef{Kind: compress.KindConv, T: x}, true)
+	post := CaptureNetState(net)
+	first := out1.T.Clone()
+
+	RestoreNetState(net, pre)
+	out2 := net.Forward(&ActRef{Kind: compress.KindConv, T: x}, true)
+
+	if tensor.MSE(first, out2.T) != 0 {
+		t.Fatal("replayed forward is not bit-identical")
+	}
+	// The replay must also re-apply the side effects identically.
+	replayPost := CaptureNetState(net)
+	if len(post) != len(replayPost) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(post), len(replayPost))
+	}
+	for i := range post {
+		switch a := post[i].(type) {
+		case bnState:
+			b := replayPost[i].(bnState)
+			for j := range a.runningMean {
+				if a.runningMean[j] != b.runningMean[j] || a.runningVar[j] != b.runningVar[j] {
+					t.Fatalf("BN state %d diverged after replay", i)
+				}
+			}
+		case uint64:
+			if a != replayPost[i].(uint64) {
+				t.Fatalf("dropout RNG position diverged after replay")
+			}
+		default:
+			t.Fatalf("unexpected snapshot type %T", a)
+		}
+	}
+}
+
+func TestWalkReachesAllLayers(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	body := NewSequential("body", NewBatchNorm("bn", 4))
+	short := NewSequential("short", NewConv2D("cs", 4, 4, 1, ConvOpts{}, rng))
+	net := NewSequential("net", NewResidual("res", body, short), NewDropout("d", 0.1, rng))
+
+	var names []string
+	Walk(net, func(l Layer) { names = append(names, l.Name()) })
+	want := []string{"net", "res", "body", "bn", "short", "cs", "d"}
+	if len(names) != len(want) {
+		t.Fatalf("walked %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", names, want)
+		}
+	}
+}

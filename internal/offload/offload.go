@@ -6,15 +6,25 @@
 // functional simulation in internal/train — which swaps in the recovered
 // tensor immediately — this path realizes the memory saving for real:
 // between offload and restore, only the compressed bytes are live.
+//
+// The store treats the GPU↔host transfer as a fault-prone physical
+// channel: every activation crosses it inside a self-describing frame
+// (internal/frame) whose CRC32C is verified before the host copy is
+// released, and on corruption a configurable RecoveryPolicy decides
+// whether to fail with a typed error, re-read the channel, or recompute
+// the activation from scratch (gradient-checkpointing style, wired in by
+// internal/train).
 package offload
 
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"jpegact/internal/coding"
 	"jpegact/internal/compress"
 	"jpegact/internal/dct"
+	"jpegact/internal/frame"
 	"jpegact/internal/nn"
 	"jpegact/internal/quant"
 	"jpegact/internal/sfpr"
@@ -24,52 +34,149 @@ import (
 // ErrNotStored is returned when restoring a ref that was never offloaded.
 var ErrNotStored = errors.New("offload: activation not stored")
 
-// entry is one offloaded activation in host memory.
+// ErrCorrupted wraps a frame decode failure that survived the recovery
+// policy; the host entry is retained so the caller can still retry or
+// recompute out of band.
+var ErrCorrupted = errors.New("offload: corrupted beyond recovery")
+
+// Channel abstracts the GPU↔host byte path. Send models the offload
+// direction (what it returns is what lands in host memory — faults there
+// are persistent); Recv models the restore direction (faults there are
+// transient, so a retry re-reads the intact host copy). A nil return
+// models a dropped transfer. internal/faults.Injector implements this
+// interface; the zero-configuration default is a clean passthrough.
+type Channel interface {
+	Send(b []byte) []byte
+	Recv(b []byte) []byte
+}
+
+// cleanChannel is the fault-free default.
+type cleanChannel struct{}
+
+func (cleanChannel) Send(b []byte) []byte { return b }
+func (cleanChannel) Recv(b []byte) []byte { return b }
+
+// RecoveryPolicy selects what Restore does when a frame fails its CRC.
+type RecoveryPolicy int
+
+const (
+	// PolicyFail returns a typed error; the host entry is retained.
+	PolicyFail RecoveryPolicy = iota
+	// PolicyRetry re-reads through the channel up to MaxRetries times
+	// (with optional exponential backoff) before failing.
+	PolicyRetry
+	// PolicyRecompute first exhausts the retries, then invokes the
+	// Recovery.Recompute hook to re-materialize the activation from the
+	// nearest intact upstream state (internal/train wires this to a
+	// forward-pass replay).
+	PolicyRecompute
+)
+
+// String implements fmt.Stringer.
+func (p RecoveryPolicy) String() string {
+	switch p {
+	case PolicyFail:
+		return "fail"
+	case PolicyRetry:
+		return "retry"
+	case PolicyRecompute:
+		return "recompute"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Recovery configures the corruption-recovery behaviour of a Store. The
+// zero value is PolicyFail.
+type Recovery struct {
+	Policy RecoveryPolicy
+	// MaxRetries bounds the channel re-reads under PolicyRetry and
+	// PolicyRecompute (0 under PolicyRetry defaults to 3).
+	MaxRetries int
+	// Backoff is the initial delay between retries, doubled each attempt
+	// (0 retries immediately — the right setting for simulated channels).
+	Backoff time.Duration
+	// Recompute re-materializes the corrupted ref's activation under
+	// PolicyRecompute. The hook may rebuild the whole step — replay the
+	// forward pass, Reset the store and re-offload fresh refs — in which
+	// case the caller must refresh its ref list after Restore returns
+	// (see train.ClassifierOffloaded).
+	Recompute func(ref *nn.ActRef) error
+}
+
+// Stats counts the store's channel activity and recovery actions.
+type Stats struct {
+	Offloaded  uint64 // activations sent to host memory
+	Restored   uint64 // activations brought back successfully
+	Corrupted  uint64 // frame reads that failed validation
+	Retried    uint64 // channel re-reads attempted
+	Recomputed uint64 // corruptions resolved by the Recompute hook
+	// BytesOffloaded / BytesVerified total the frame bytes written to,
+	// and CRC-verified back from, host memory.
+	BytesOffloaded int64
+	BytesVerified  int64
+}
+
+// entry is one offloaded activation in host memory: the framed bytes as
+// they landed after crossing the channel, plus the offload sequence
+// number that fixes the deterministic reverse-restore order.
 type entry struct {
-	shape  tensor.Shape
-	kind   compress.Kind
-	scales []float32 // SFPR channel scales
-	// Exactly one of the following payloads is set.
-	jpegStream []byte // SH+ZVC coded blocks (dense conv/sum path)
-	info       tensor.PadInfo
-	zvcStream  []byte // SFPR+ZVC (sparse kinds)
-	brcMask    []byte // BRC bit mask (ReLU to other)
+	seq int
+	buf []byte
 }
 
 // Store is a host-memory activation store using the JPEG-ACT pipeline
 // with a fixed DQT.
 type Store struct {
-	DQT     quant.DQT
-	S       float64
+	DQT quant.DQT
+	S   float64
+	// Channel is the GPU↔host byte path (nil = clean passthrough).
+	Channel Channel
+	// Recovery selects the corruption policy (zero value = PolicyFail).
+	Recovery Recovery
+	// Stats accumulates channel and recovery counters for the lifetime
+	// of the store.
+	Stats Stats
+
 	entries map[*nn.ActRef]*entry
-	// HostBytes is the total compressed footprint currently resident.
+	nextSeq int
+	// HostBytes is the total framed footprint currently resident.
 	HostBytes int
 }
 
-// NewStore builds a store with the given quantization table.
+// NewStore builds a store with the given quantization table and a clean
+// channel.
 func NewStore(d quant.DQT) *Store {
 	return &Store{DQT: d, S: sfpr.DefaultS, entries: map[*nn.ActRef]*entry{}}
 }
 
-// Offload compresses the ref's activation into host memory and releases
-// the tensor (ref.T becomes nil, or a BRC mask replaces it). Refs are
-// deduplicated by pointer; offloading the same ref twice is an error.
+func (s *Store) channel() Channel {
+	if s.Channel == nil {
+		return cleanChannel{}
+	}
+	return s.Channel
+}
+
+// Offload compresses the ref's activation into a framed host-memory
+// buffer and releases the tensor (ref.T becomes nil, or a BRC mask
+// replaces it). Refs are deduplicated by pointer; offloading the same
+// ref twice is an error.
 func (s *Store) Offload(ref *nn.ActRef) error {
 	if _, dup := s.entries[ref]; dup {
-		return fmt.Errorf("offload: ref %q already stored", ref.Name)
+		return fmt.Errorf("offload: offload %q (%s): already stored", ref.Name, ref.Kind)
 	}
 	if ref.T == nil {
-		return ErrNotStored
+		return fmt.Errorf("offload: offload %q (%s): %w", ref.Name, ref.Kind, ErrNotStored)
 	}
 	x := ref.T
-	e := &entry{shape: x.Shape, kind: ref.Kind}
+	f := &frame.Frame{Kind: uint8(ref.Kind), Shape: x.Shape}
 
 	switch ref.Kind {
 	case compress.KindReLUToOther:
-		e.brcMask = coding.EncodeBRC(x.Data)
-		mask, err := coding.DecodeBRC(e.brcMask, x.Elems())
+		f.Codec = frame.CodecBRC
+		f.Payload = coding.EncodeBRC(x.Data)
+		mask, err := coding.DecodeBRC(f.Payload, x.Elems())
 		if err != nil {
-			return err
+			return fmt.Errorf("offload: offload %q (%s): %w", ref.Name, ref.Kind, err)
 		}
 		ref.Mask = mask
 		ref.T = nil
@@ -77,10 +184,10 @@ func (s *Store) Offload(ref *nn.ActRef) error {
 		if x.Shape.N*x.Shape.C*x.Shape.H >= 8 && x.Shape.W >= 8 {
 			p := compress.JPEGAct(s.DQT)
 			p.S = s.S
-			blocks, scales, info := p.QuantizeBlocks(x)
-			e.jpegStream = coding.EncodeZVCBlocks(blocks)
-			e.scales = scales
-			e.info = info
+			blocks, scales, _ := p.QuantizeBlocks(x)
+			f.Codec = frame.CodecJPEG
+			f.Payload = coding.EncodeZVCBlocks(blocks)
+			f.Scales = scales
 			ref.T = nil
 			break
 		}
@@ -88,52 +195,134 @@ func (s *Store) Offload(ref *nn.ActRef) error {
 	default:
 		// Sparse kinds and small tensors: SFPR + ZVC.
 		c := sfpr.Compress(x, s.S)
-		e.zvcStream = coding.EncodeZVC(c.Values)
-		e.scales = c.Scales
+		f.Codec = frame.CodecZVC
+		f.Payload = coding.EncodeZVC(c.Values)
+		f.Scales = c.Scales
 		ref.T = nil
 	}
+
+	// The framed buffer crosses the channel; what Send returns is what
+	// actually landed in host memory (send-side faults are persistent).
+	buf := s.channel().Send(frame.EncodeFrame(f))
+	e := &entry{seq: s.nextSeq, buf: buf}
+	s.nextSeq++
 	s.entries[ref] = e
-	s.HostBytes += e.bytes()
+	s.HostBytes += len(buf)
+	s.Stats.Offloaded++
+	s.Stats.BytesOffloaded += int64(len(buf))
 	return nil
 }
 
-func (e *entry) bytes() int {
-	return len(e.jpegStream) + len(e.zvcStream) + len(e.brcMask) + 4*len(e.scales)
+// readFrame reads the entry back through the channel and validates the
+// frame, applying the retry schedule of the recovery policy.
+func (s *Store) readFrame(e *entry) (*frame.Frame, error) {
+	retries := s.Recovery.MaxRetries
+	if s.Recovery.Policy == PolicyRetry && retries == 0 {
+		retries = 3
+	}
+	if s.Recovery.Policy == PolicyFail {
+		retries = 0
+	}
+	backoff := s.Recovery.Backoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		var f *frame.Frame
+		f, err = frame.DecodeFrame(s.channel().Recv(e.buf))
+		if err == nil {
+			s.Stats.BytesVerified += int64(len(e.buf))
+			return f, nil
+		}
+		s.Stats.Corrupted++
+		if attempt >= retries {
+			return nil, err
+		}
+		s.Stats.Retried++
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
 }
 
 // Restore decompresses the stored activation back into ref.T (no-op for
-// BRC refs, whose mask is already attached) and frees the host copy.
+// BRC refs, whose mask is already attached) and frees the host copy —
+// but only after the frame's CRC is verified and the payload decodes, so
+// a failed restore always leaves the compressed host copy intact. On
+// corruption the configured RecoveryPolicy is consulted: PolicyFail
+// returns a typed error, PolicyRetry re-reads the channel, and
+// PolicyRecompute invokes the Recovery.Recompute hook.
 func (s *Store) Restore(ref *nn.ActRef) error {
 	e, ok := s.entries[ref]
 	if !ok {
-		return ErrNotStored
+		return fmt.Errorf("offload: restore %q (%s): %w", ref.Name, ref.Kind, ErrNotStored)
 	}
-	delete(s.entries, ref)
-	s.HostBytes -= e.bytes()
 
-	switch {
-	case e.brcMask != nil:
-		return nil // the mask already lives on the ref
-	case e.jpegStream != nil:
-		nBlocks := e.info.PaddedElems() / 64
-		blocks, err := coding.DecodeZVCBlocks(e.jpegStream, nBlocks)
+	f, err := s.readFrame(e)
+	if err == nil {
+		err = s.decodeInto(ref, f)
+	}
+	if err != nil {
+		if s.Recovery.Policy == PolicyRecompute && s.Recovery.Recompute != nil {
+			if rerr := s.Recovery.Recompute(ref); rerr != nil {
+				return fmt.Errorf("offload: restore %q (%s): %w: recompute failed: %v (original: %v)",
+					ref.Name, ref.Kind, ErrCorrupted, rerr, err)
+			}
+			s.Stats.Recomputed++
+			// The hook may have rebuilt the store wholesale; drop this
+			// ref's stale entry if it survived.
+			if cur, still := s.entries[ref]; still && cur == e {
+				delete(s.entries, ref)
+				s.HostBytes -= len(e.buf)
+			}
+			return nil
+		}
+		// Entry retained: the only copy of the activation must not be
+		// destroyed by a failed decode.
+		return fmt.Errorf("offload: restore %q (%s): %w", ref.Name, ref.Kind, err)
+	}
+
+	delete(s.entries, ref)
+	s.HostBytes -= len(e.buf)
+	s.Stats.Restored++
+	return nil
+}
+
+// decodeInto reconstructs the activation described by f onto ref. It
+// does not mutate the store, so a failure leaves the entry untouched.
+func (s *Store) decodeInto(ref *nn.ActRef, f *frame.Frame) error {
+	switch f.Codec {
+	case frame.CodecBRC:
+		// The mask was attached to the ref at offload time and never
+		// left the GPU; the host frame exists only for accounting.
+		return nil
+	case frame.CodecJPEG:
+		info := tensor.BlockPadInfo(f.Shape, dct.BlockSize)
+		nBlocks := info.PaddedElems() / 64
+		blocks, err := coding.DecodeZVCBlocks(f.Payload, nBlocks)
 		if err != nil {
 			return err
+		}
+		if len(f.Scales) != f.Shape.C {
+			return fmt.Errorf("%w: %d scales for %d channels", frame.ErrHeader, len(f.Scales), f.Shape.C)
 		}
 		p := compress.JPEGAct(s.DQT)
 		p.S = s.S
-		ref.T = p.ReconstructBlocks(blocks, e.scales, e.info)
+		ref.T = p.ReconstructBlocks(blocks, f.Scales, info)
 		return nil
-	default:
-		vals, err := coding.DecodeZVC(e.zvcStream, e.shape.Elems())
+	case frame.CodecZVC:
+		vals, err := coding.DecodeZVC(f.Payload, f.Shape.Elems())
 		if err != nil {
 			return err
 		}
-		out := tensor.New(e.shape.N, e.shape.C, e.shape.H, e.shape.W)
-		sfpr.DequantizeInto(vals, e.scales, out)
+		if len(f.Scales) != f.Shape.C {
+			return fmt.Errorf("%w: %d scales for %d channels", frame.ErrHeader, len(f.Scales), f.Shape.C)
+		}
+		out := tensor.New(f.Shape.N, f.Shape.C, f.Shape.H, f.Shape.W)
+		sfpr.DequantizeInto(vals, f.Scales, out)
 		ref.T = out
 		return nil
 	}
+	return fmt.Errorf("%w: codec %s", frame.ErrHeader, f.Codec)
 }
 
 // OffloadAll offloads every unique saved ref of a network (forward-pass
@@ -153,20 +342,49 @@ func (s *Store) OffloadAll(refs []*nn.ActRef) (orig, comp int, err error) {
 	return orig, s.HostBytes, nil
 }
 
-// RestoreAll restores every stored ref (used before a monolithic backward
-// pass; layer-at-a-time restoration uses Restore directly in reverse
-// order, which is what bounds live memory).
+// RestoreAll restores every stored ref in deterministic reverse-offload
+// order — the order the backward prefetcher would request them — so peak
+// memory and error attribution are identical across runs regardless of
+// Go map iteration.
 func (s *Store) RestoreAll() error {
-	for ref := range s.entries {
-		if err := s.Restore(ref); err != nil {
+	// Always restore the highest-sequence resident entry next. Re-scanning
+	// after every restore keeps the sweep correct even when a recompute
+	// hook rebuilds the store with fresh refs mid-sweep.
+	for len(s.entries) > 0 {
+		var next *nn.ActRef
+		bestSeq := -1
+		for ref, e := range s.entries {
+			if e.seq > bestSeq {
+				bestSeq, next = e.seq, ref
+			}
+		}
+		if err := s.Restore(next); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// Reset drops every host entry (counters and the offload sequence are
+// preserved). Used by the recompute path to discard a stale step before
+// re-offloading freshly materialized activations.
+func (s *Store) Reset() {
+	s.entries = map[*nn.ActRef]*entry{}
+	s.HostBytes = 0
+}
+
 // Stored returns the number of resident host entries.
 func (s *Store) Stored() int { return len(s.entries) }
+
+// Seq returns the offload sequence number of ref, and whether it is
+// currently stored (exposed for restore-order tests and tooling).
+func (s *Store) Seq(ref *nn.ActRef) (int, bool) {
+	e, ok := s.entries[ref]
+	if !ok {
+		return 0, false
+	}
+	return e.seq, true
+}
 
 // BlockSize echoes the JPEG block constant for callers sizing buffers.
 const BlockSize = dct.BlockSize

@@ -1,10 +1,14 @@
 package offload
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"jpegact/internal/compress"
 	"jpegact/internal/data"
+	"jpegact/internal/faults"
+	"jpegact/internal/frame"
 	"jpegact/internal/models"
 	"jpegact/internal/nn"
 	"jpegact/internal/quant"
@@ -44,11 +48,18 @@ func TestOffloadRestoreDense(t *testing.T) {
 	if e := tensor.L2Error(orig, ref.T); e > 0.01 {
 		t.Fatalf("restored error %v", e)
 	}
+	if s.Stats.Offloaded != 1 || s.Stats.Restored != 1 || s.Stats.Corrupted != 0 {
+		t.Fatalf("stats %+v", s.Stats)
+	}
+	if s.Stats.BytesVerified <= 0 || s.Stats.BytesVerified != s.Stats.BytesOffloaded {
+		t.Fatalf("verified %d vs offloaded %d bytes", s.Stats.BytesVerified, s.Stats.BytesOffloaded)
+	}
 }
 
 func TestOffloadRestoreMatchesFunctionalMethod(t *testing.T) {
 	// The store must reconstruct exactly what the functional JPEG-ACT
-	// method produces (same pipeline, same DQT).
+	// method produces (same pipeline, same DQT) — the property the
+	// recompute recovery path's bit-exactness rests on.
 	ref := denseRef(2)
 	orig := ref.T.Clone()
 	m := compress.NewJPEGAct(quant.Fixed(quant.OptL()))
@@ -118,7 +129,7 @@ func TestOffloadSparseAndSmall(t *testing.T) {
 func TestOffloadErrors(t *testing.T) {
 	s := NewStore(quant.OptL())
 	ref := denseRef(5)
-	if err := s.Restore(ref); err != ErrNotStored {
+	if err := s.Restore(ref); !errors.Is(err, ErrNotStored) {
 		t.Fatalf("restore before offload: %v", err)
 	}
 	if err := s.Offload(ref); err != nil {
@@ -128,8 +139,171 @@ func TestOffloadErrors(t *testing.T) {
 		t.Fatal("double offload accepted")
 	}
 	empty := &nn.ActRef{Name: "nil"}
-	if err := s.Offload(empty); err != ErrNotStored {
+	if err := s.Offload(empty); !errors.Is(err, ErrNotStored) {
 		t.Fatalf("nil tensor offload: %v", err)
+	}
+}
+
+// truncateOnce cuts the first Recv to a prefix, then passes through.
+type truncateOnce struct{ fired bool }
+
+func (c *truncateOnce) Send(b []byte) []byte { return b }
+func (c *truncateOnce) Recv(b []byte) []byte {
+	if c.fired {
+		return b
+	}
+	c.fired = true
+	return b[:len(b)/2]
+}
+
+func TestRestoreRetainsEntryOnError(t *testing.T) {
+	// Regression for the lose-on-error bug: a failed restore (here, a
+	// truncated transfer under PolicyFail) must leave the compressed host
+	// copy intact, so the activation is not permanently destroyed.
+	s := NewStore(quant.OptL())
+	s.Channel = &truncateOnce{}
+	ref := denseRef(6)
+	if err := s.Offload(ref); err != nil {
+		t.Fatal(err)
+	}
+	hostBytes := s.HostBytes
+
+	err := s.Restore(ref)
+	if !errors.Is(err, frame.ErrTruncated) && !errors.Is(err, frame.ErrChecksum) {
+		t.Fatalf("want truncation/checksum error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), `restore "act"`) {
+		t.Fatalf("error does not name the ref: %v", err)
+	}
+	if s.Stored() != 1 || s.HostBytes != hostBytes {
+		t.Fatalf("entry lost after failed restore: %d entries, %d bytes", s.Stored(), s.HostBytes)
+	}
+	if ref.T != nil {
+		t.Fatal("failed restore must not attach a tensor")
+	}
+	if s.Stats.Corrupted != 1 {
+		t.Fatalf("corrupted count %d", s.Stats.Corrupted)
+	}
+
+	// The channel fault was transient; a second restore succeeds.
+	if err := s.Restore(ref); err != nil {
+		t.Fatal(err)
+	}
+	if ref.T == nil || s.Stored() != 0 {
+		t.Fatal("second restore failed")
+	}
+}
+
+func TestRestoreRetryPolicy(t *testing.T) {
+	s := NewStore(quant.OptL())
+	inj := faults.New(faults.Config{Seed: 7})
+	s.Channel = inj
+	s.Recovery = Recovery{Policy: PolicyRetry, MaxRetries: 3}
+	ref := denseRef(7)
+	if err := s.Offload(ref); err != nil {
+		t.Fatal(err)
+	}
+	// One forced transient fault: the first re-read succeeds.
+	inj.ForceNextRecv(1)
+	if err := s.Restore(ref); err != nil {
+		t.Fatalf("retry should have recovered: %v", err)
+	}
+	if s.Stats.Corrupted != 1 || s.Stats.Retried != 1 || s.Stats.Restored != 1 {
+		t.Fatalf("stats %+v", s.Stats)
+	}
+}
+
+func TestRestoreRetryExhaustsOnPersistentFault(t *testing.T) {
+	s := NewStore(quant.OptL())
+	inj := faults.New(faults.Config{Seed: 8, OnSend: true})
+	s.Channel = inj
+	s.Recovery = Recovery{Policy: PolicyRetry, MaxRetries: 2}
+	ref := denseRef(8)
+	inj.ForceNextSend(1) // corrupt the host copy itself
+	if err := s.Offload(ref); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Restore(ref)
+	if !errors.Is(err, frame.ErrChecksum) {
+		t.Fatalf("want checksum error, got %v", err)
+	}
+	if s.Stats.Retried != 2 || s.Stats.Corrupted != 3 {
+		t.Fatalf("stats %+v", s.Stats)
+	}
+	if s.Stored() != 1 {
+		t.Fatal("entry lost after exhausted retries")
+	}
+}
+
+func TestRestoreRecomputeHook(t *testing.T) {
+	s := NewStore(quant.OptL())
+	inj := faults.New(faults.Config{Seed: 9, OnSend: true})
+	s.Channel = inj
+	recomputed := 0
+	s.Recovery = Recovery{
+		Policy: PolicyRecompute,
+		Recompute: func(ref *nn.ActRef) error {
+			recomputed++
+			ref.T = tensor.New(2, 4, 16, 16) // stand-in for a replayed forward
+			return nil
+		},
+	}
+	ref := denseRef(9)
+	inj.ForceNextSend(1)
+	if err := s.Offload(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(ref); err != nil {
+		t.Fatalf("recompute should have recovered: %v", err)
+	}
+	if recomputed != 1 || s.Stats.Recomputed != 1 {
+		t.Fatalf("recompute hook ran %d times, stats %+v", recomputed, s.Stats)
+	}
+	if ref.T == nil || s.Stored() != 0 || s.HostBytes != 0 {
+		t.Fatal("store not drained after recompute")
+	}
+}
+
+// recorder tags every Recv with the order it happened.
+type recorder struct{ order []*byte }
+
+func (r *recorder) Send(b []byte) []byte { return b }
+func (r *recorder) Recv(b []byte) []byte {
+	r.order = append(r.order, &b[0])
+	return b
+}
+
+func TestRestoreAllReverseOffloadOrder(t *testing.T) {
+	rec := &recorder{}
+	s := NewStore(quant.OptL())
+	s.Channel = rec
+	const n = 6
+	refs := make([]*nn.ActRef, n)
+	var sent []*byte
+	for i := range refs {
+		refs[i] = denseRef(uint64(10 + i))
+		if err := s.Offload(refs[i]); err != nil {
+			t.Fatal(err)
+		}
+		seq, ok := s.Seq(refs[i])
+		if !ok || seq != i {
+			t.Fatalf("ref %d has seq %d (ok=%v)", i, seq, ok)
+		}
+	}
+	// Record each entry's host buffer identity in offload order.
+	for i := range refs {
+		sent = append(sent, &s.entries[refs[i]].buf[0])
+	}
+	if err := s.RestoreAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.order) != n {
+		t.Fatalf("%d transfers, want %d", len(rec.order), n)
+	}
+	for i := 0; i < n; i++ {
+		if rec.order[i] != sent[n-1-i] {
+			t.Fatalf("restore %d read offload %d's buffer; want reverse-offload order", i, n-1-i)
+		}
 	}
 }
 

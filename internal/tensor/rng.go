@@ -18,6 +18,19 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State returns the RNG's position in its stream, for checkpoint/replay
+// (pair with SetState to rewind a dropout layer before a forward replay).
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState rewinds the RNG to a position captured by State (zero is
+// remapped exactly as in NewRNG).
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.state = s
+}
+
 // Uint64 returns the next raw 64-bit value.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

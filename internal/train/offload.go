@@ -1,0 +1,160 @@
+package train
+
+// Fault-tolerant offloaded training: instead of the functional
+// compress-and-swap simulation of Classifier, every saved activation
+// really crosses the (possibly faulty) GPU↔host channel as a framed
+// byte buffer between forward and backward. Corrupted frames are
+// detected by CRC and recovered per the configured policy; under
+// PolicyRecompute the whole step's activations are re-materialized by
+// replaying the forward pass from the batch input — the nearest
+// activation guaranteed intact — exactly as gradient checkpointing
+// would, after rewinding BatchNorm/Dropout side effects so the replay
+// is bit-identical.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/data"
+	"jpegact/internal/models"
+	"jpegact/internal/nn"
+	"jpegact/internal/offload"
+	"jpegact/internal/quant"
+	"jpegact/internal/tensor"
+)
+
+// OffloadOptions configures the offloaded (host-memory) training path.
+type OffloadOptions struct {
+	// DQT is the quantization table for the store's JPEG-ACT pipeline.
+	DQT quant.DQT
+	// Channel is the GPU↔host byte path (nil = clean). Pass a
+	// faults.Injector to exercise the recovery machinery.
+	Channel offload.Channel
+	// Policy selects the corruption response (fail / retry / recompute).
+	Policy offload.RecoveryPolicy
+	// MaxRetries and Backoff configure the channel re-read schedule.
+	MaxRetries int
+	Backoff    time.Duration
+	// MaxRecompute caps whole-step forward replays per batch under
+	// PolicyRecompute (default 4); beyond it the step fails.
+	MaxRecompute int
+	// Verbose prints per-epoch fault counters from the training loop.
+	Verbose bool
+}
+
+// ClassifierOffloaded trains a classification model with real host-memory
+// offload through a fault-prone channel. The returned Stats hold the
+// store's corruption/recovery counters; a non-nil error means a
+// corruption survived the recovery policy (the Report covers the epochs
+// completed up to that point).
+func ClassifierOffloaded(m *models.Model, ds *data.Classification, cfg Config, oc OffloadOptions) (Report, offload.Stats, error) {
+	cfg = cfg.withDefaults()
+	defer cfg.applyWorkers()()
+	if oc.MaxRecompute == 0 {
+		oc.MaxRecompute = 4
+	}
+	rep := Report{ModelName: m.Name, MethodName: "JPEG-ACT/offload(" + oc.Policy.String() + ")"}
+	opt := cfg.newOptimizer()
+
+	store := offload.NewStore(oc.DQT)
+	store.Channel = oc.Channel
+	store.Recovery = offload.Recovery{
+		Policy:     oc.Policy,
+		MaxRetries: oc.MaxRetries,
+		Backoff:    oc.Backoff,
+	}
+
+	valX, valY := ds.Batch(cfg.BatchSize * 8)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		maybeDecay(cfg, opt, epoch)
+		var epochLoss float64
+		var origSum, compSum int
+		for b := 0; b < cfg.BatchesPerEpoch; b++ {
+			x, labels := ds.Batch(cfg.BatchSize)
+			loss, o, c, err := offloadedStep(m, store, x, labels, oc.MaxRecompute)
+			if err != nil {
+				return rep, store.Stats, err
+			}
+			epochLoss += loss
+			origSum += o
+			compSum += c
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				rep.Diverged = true
+				return rep, store.Stats, nil
+			}
+			opt.Step(m.Net.Params())
+		}
+		stats := EpochStats{Epoch: epoch, Loss: epochLoss / float64(cfg.BatchesPerEpoch)}
+		if compSum > 0 {
+			stats.CompressionRatio = float64(origSum) / float64(compSum)
+		}
+		valOut := m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: valX}, false)
+		stats.Score = nn.Accuracy(valOut.T, valY)
+		if nn.NaNGuard(valOut.T) {
+			rep.Diverged = true
+			rep.Epochs = append(rep.Epochs, stats)
+			return rep, store.Stats, nil
+		}
+		rep.Epochs = append(rep.Epochs, stats)
+		if stats.Score > rep.BestScore {
+			rep.BestScore = stats.Score
+		}
+		rep.FinalRatio = stats.CompressionRatio
+		if oc.Verbose {
+			s := store.Stats
+			fmt.Printf("epoch %d: offloaded=%d restored=%d corrupted=%d retried=%d recomputed=%d verified=%dB\n",
+				epoch, s.Offloaded, s.Restored, s.Corrupted, s.Retried, s.Recomputed, s.BytesVerified)
+		}
+	}
+	return rep, store.Stats, nil
+}
+
+// offloadedStep runs one training batch through the real offload path:
+// forward → offload all saved refs over the channel → restore them in
+// reverse-offload order (recovering per policy) → backward.
+func offloadedStep(m *models.Model, store *offload.Store, x *tensor.Tensor, labels []int, maxRecompute int) (loss float64, orig, comp int, err error) {
+	// Snapshot forward side effects (BN running stats, dropout RNG)
+	// before the pass, so a corruption-triggered replay is bit-exact.
+	pre := nn.CaptureNetState(m.Net)
+
+	out := m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: x}, true)
+	loss, grad := nn.SoftmaxCrossEntropy(out.T, labels)
+
+	recomputes := 0
+	if store.Recovery.Policy == offload.PolicyRecompute {
+		store.Recovery.Recompute = func(corrupt *nn.ActRef) error {
+			if recomputes >= maxRecompute {
+				return fmt.Errorf("recompute budget (%d) exhausted", maxRecompute)
+			}
+			recomputes++
+			// Rewind side effects and replay the forward pass from the
+			// batch input; the replay re-applies them identically, so
+			// the network state after the replay matches post-forward.
+			nn.RestoreNetState(m.Net, pre)
+			m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: x}, true)
+			// Discard the stale step and re-offload the fresh refs —
+			// through the same channel, so a new fault can strike (and
+			// recover) again.
+			store.Reset()
+			_, _, oerr := store.OffloadAll(m.Net.SavedRefs())
+			return oerr
+		}
+		defer func() { store.Recovery.Recompute = nil }()
+	}
+
+	orig, comp, err = store.OffloadAll(m.Net.SavedRefs())
+	if err != nil {
+		return loss, orig, comp, err
+	}
+	// RestoreAll walks resident entries in reverse-offload order and
+	// survives a mid-sweep recompute rebuild.
+	if err := store.RestoreAll(); err != nil {
+		return loss, orig, comp, err
+	}
+
+	m.Net.Backward(grad)
+	return loss, orig, comp, nil
+}

@@ -13,6 +13,9 @@
 //     activation tensors by activation kind (Table II policy built in);
 //   - TrainClassifier / TrainSuperRes to train the bundled mini networks
 //     under any compression method;
+//   - TrainClassifierOffloaded, the real host-memory offload path with a
+//     framed CRC-checked channel, fault injection (NewFaultInjector) and
+//     fail/retry/recompute corruption recovery;
 //   - OptimizeDQT, the §IV quantization-table optimizer;
 //   - SimulateOffload and the gpusim schemes for performance studies;
 //   - RunExperiment to regenerate any table or figure of the paper.
@@ -28,8 +31,11 @@ import (
 	"jpegact/internal/data"
 	"jpegact/internal/dqtopt"
 	"jpegact/internal/experiments"
+	"jpegact/internal/faults"
+	"jpegact/internal/frame"
 	"jpegact/internal/gpusim"
 	"jpegact/internal/models"
+	"jpegact/internal/offload"
 	"jpegact/internal/parallel"
 	"jpegact/internal/quant"
 	"jpegact/internal/sfpr"
@@ -159,6 +165,11 @@ type ModelScale = models.Scale
 // "ResNet50", "ResNet101", "WRN", "MobileNet") on the synthetic
 // classification set.
 func TrainClassifier(model string, sc ModelScale, cfg TrainConfig, seed uint64) TrainReport {
+	m, ds := buildClassifier(model, sc, seed)
+	return train.Classifier(m, ds, cfg)
+}
+
+func buildClassifier(model string, sc ModelScale, seed uint64) (*models.Model, *data.Classification) {
 	rng := tensor.NewRNG(seed)
 	var m *models.Model
 	switch model {
@@ -180,7 +191,7 @@ func TrainClassifier(model string, sc ModelScale, cfg TrainConfig, seed uint64) 
 	ds := data.NewClassification(data.ClassificationConfig{
 		Classes: 4, Channels: 3, H: m.H, W: m.W, Noise: 0.4, Seed: seed,
 	})
-	return train.Classifier(m, ds, cfg)
+	return m, ds
 }
 
 // TrainSuperRes trains the mini VDSR on synthetic super-resolution pairs.
@@ -188,6 +199,71 @@ func TrainSuperRes(sc ModelScale, cfg TrainConfig, seed uint64) TrainReport {
 	m := models.VDSR(sc, tensor.NewRNG(seed))
 	ds := data.NewSuperRes(m.H, m.W, seed)
 	return train.SuperResolution(m, ds, cfg)
+}
+
+// --- Fault-tolerant offload channel -----------------------------------
+//
+// The offload store ships activations across the GPU↔host channel in a
+// framed, CRC32C-checked container and recovers from corruption per a
+// configurable policy; see "Fault model & recovery" in DESIGN.md.
+
+// OffloadStore is the host-memory activation store (internal/offload).
+type OffloadStore = offload.Store
+
+// NewOffloadStore builds a store using the given DQT for its JPEG-ACT
+// compression pipeline.
+func NewOffloadStore(dqt DQT) *OffloadStore { return offload.NewStore(dqt) }
+
+// OffloadStats are the store's offload/restore/corruption counters.
+type OffloadStats = offload.Stats
+
+// OffloadChannel is the byte path activations cross between GPU and
+// host. Any {Send, Recv} pair satisfies it; a FaultInjector is one.
+type OffloadChannel = offload.Channel
+
+// RecoveryPolicy selects the store's response to a corrupted frame.
+type RecoveryPolicy = offload.RecoveryPolicy
+
+// Recovery policies: fail with a typed error naming the corrupted ref,
+// re-read the channel with backoff, or replay the forward pass from the
+// intact batch input (gradient-checkpointing style).
+const (
+	RecoverFail      = offload.PolicyFail
+	RecoverRetry     = offload.PolicyRetry
+	RecoverRecompute = offload.PolicyRecompute
+)
+
+// Typed frame-validation errors surfaced (wrapped) by OffloadStore
+// restores; match with errors.Is.
+var (
+	ErrFrameChecksum  = frame.ErrChecksum
+	ErrFrameTruncated = frame.ErrTruncated
+	ErrFrameBadMagic  = frame.ErrBadMagic
+	ErrFrameVersion   = frame.ErrVersion
+)
+
+// FaultConfig configures a deterministic channel fault injector.
+type FaultConfig = faults.Config
+
+// FaultInjector corrupts offload transfers with seeded bit flips,
+// truncations and drops; it satisfies OffloadChannel.
+type FaultInjector = faults.Injector
+
+// NewFaultInjector builds a deterministic injector from cfg.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faults.New(cfg) }
+
+// OffloadTrainOptions configures TrainClassifierOffloaded: the DQT, the
+// (possibly fault-injected) channel, and the recovery policy.
+type OffloadTrainOptions = train.OffloadOptions
+
+// TrainClassifierOffloaded trains a mini network by name with real
+// host-memory offload: every saved activation crosses oc.Channel as a
+// framed byte buffer between forward and backward, and corrupted frames
+// are recovered per oc.Policy. The returned OffloadStats hold the fault
+// counters; a non-nil error means a corruption survived the policy.
+func TrainClassifierOffloaded(model string, sc ModelScale, cfg TrainConfig, oc OffloadTrainOptions, seed uint64) (TrainReport, OffloadStats, error) {
+	m, ds := buildClassifier(model, sc, seed)
+	return train.ClassifierOffloaded(m, ds, cfg, oc)
 }
 
 // DQTOptimizerConfig configures OptimizeDQT (see internal/dqtopt.Config).

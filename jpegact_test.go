@@ -64,6 +64,26 @@ func TestFacadeTraining(t *testing.T) {
 	}
 }
 
+func TestFacadeOffloadedTraining(t *testing.T) {
+	inj := NewFaultInjector(FaultConfig{Seed: 9, BitFlipPerByte: 1e-5})
+	inj.ForceNextRecv(1)
+	rep, stats, err := TrainClassifierOffloaded("ResNet18", ModelScale{Width: 6, Blocks: 1},
+		TrainConfig{Epochs: 1, BatchesPerEpoch: 2, BatchSize: 4},
+		OffloadTrainOptions{DQT: OptL(), Channel: inj, Policy: RecoverRecompute}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Epochs) != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if stats.Corrupted == 0 || stats.Recomputed == 0 {
+		t.Fatalf("forced fault not recovered: %+v", stats)
+	}
+	if stats.Offloaded == 0 || stats.BytesVerified == 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
 func TestFacadeUnknownModelPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
