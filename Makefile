@@ -11,11 +11,29 @@ test:
 race:
 	go test -race ./...
 
+# Everything CI runs, in CI's order. Mirrors .github/workflows/ci.yml so
+# the gate is reproducible locally with one command.
+.PHONY: ci
+ci:
+	gofmt -l . | (! grep .) || (echo "gofmt: files need formatting" && exit 1)
+	go vet ./...
+	go build ./...
+	go test ./...
+	go test -race ./internal/offload/... ./internal/train ./internal/parallel ./internal/nn
+
 # Micro-benchmarks of the parallel hot paths; scripts/bench.sh wraps
 # this and records results into BENCH_parallel.json.
 .PHONY: bench
 bench:
 	go test -run '^$$' -bench 'BenchmarkGemm|BenchmarkQuantizeBlocks|BenchmarkReconstructBlocks|BenchmarkRoundtripZVC|BenchmarkCompressJPEGACT|BenchmarkTrainStep' -benchmem ./...
+
+# Sync-vs-async offload wall-clock over the simulated DMA channel;
+# writes BENCH_offload.json at the repo root and fails if the async
+# trajectory diverges from sync.
+.PHONY: bench-offload
+bench-offload:
+	go run ./cmd/offloadbench > BENCH_offload.json
+	@grep -E 'speedup|trajectory' BENCH_offload.json
 
 # Fuzz sweep: every decoder fuzz target for 10s each. Go runs one fuzz
 # target per invocation, so loop over the discovered names. The offload

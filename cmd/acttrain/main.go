@@ -10,9 +10,13 @@
 //
 // With -offload the activations really cross a host-memory channel as
 // framed CRC-checked buffers; -flip/-trunc/-drop inject channel faults
-// and -policy selects the recovery (fail|retry|recompute):
+// and -policy selects the recovery (fail|retry|recompute). -async runs
+// the pipelined engine (offload–compute overlap with -prefetch restore
+// lookahead and an optional -inflight byte budget); the trajectory is
+// bit-identical to the synchronous path:
 //
 //	acttrain -model ResNet18 -offload -flip 1e-5 -policy recompute
+//	acttrain -model ResNet18 -offload -async -prefetch 4 -inflight 262144
 package main
 
 import (
@@ -67,6 +71,14 @@ func main() {
 	trunc := flag.Float64("trunc", 0, "channel truncation rate per transfer")
 	drop := flag.Float64("drop", 0, "channel drop rate per transfer")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injector seed")
+	maxRecompute := flag.Int("max-recompute", 16,
+		"with -policy recompute: forward replays allowed per batch")
+	async := flag.Bool("async", false,
+		"with -offload: pipeline compression and channel transfers against compute")
+	prefetch := flag.Int("prefetch", 4,
+		"with -async: backward restore lookahead (0 = on-demand)")
+	inflight := flag.Int("inflight", 0,
+		"with -async: in-flight encoded byte budget (0 = unlimited)")
 	flag.Parse()
 
 	m, ok := methodByName(*method)
@@ -81,7 +93,8 @@ func main() {
 	sc := jpegact.ModelScale{Width: *width, Blocks: *blocks}
 
 	if *useOffload {
-		runOffloaded(*model, sc, cfg, *seed, *policy, *flip, *trunc, *drop, *faultSeed)
+		runOffloaded(*model, sc, cfg, *seed, *policy, *flip, *trunc, *drop, *faultSeed,
+			*maxRecompute, *async, *prefetch, *inflight)
 		return
 	}
 
@@ -118,7 +131,7 @@ func main() {
 
 // runOffloaded trains over the real host-memory channel, optionally
 // fault-injected, and reports the store's recovery counters.
-func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, seed uint64, policy string, flip, trunc, drop float64, faultSeed uint64) {
+func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, seed uint64, policy string, flip, trunc, drop float64, faultSeed uint64, maxRecompute int, async bool, prefetch, inflight int) {
 	if model == "VDSR" {
 		fmt.Fprintln(os.Stderr, "acttrain: -offload supports the classification models only")
 		os.Exit(2)
@@ -135,7 +148,20 @@ func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, 
 		fmt.Fprintf(os.Stderr, "acttrain: unknown policy %q\n", policy)
 		os.Exit(2)
 	}
-	oc := jpegact.OffloadTrainOptions{DQT: jpegact.OptL(), Policy: pol, Verbose: true}
+	oc := jpegact.OffloadTrainOptions{
+		DQT: jpegact.OptL(), Policy: pol, MaxRecompute: maxRecompute, Verbose: true,
+	}
+	if async {
+		oc.Async = true
+		oc.InFlightBytes = inflight
+		// The options treat 0 as "default lookahead"; the flag's 0 means
+		// strictly on-demand.
+		if prefetch <= 0 {
+			oc.Prefetch = -1
+		} else {
+			oc.Prefetch = prefetch
+		}
+	}
 	var inj *jpegact.FaultInjector
 	if flip > 0 || trunc > 0 || drop > 0 {
 		inj = jpegact.NewFaultInjector(jpegact.FaultConfig{
@@ -150,9 +176,9 @@ func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, 
 	for _, e := range rep.Epochs {
 		fmt.Printf("%-6d %-9.4f %-9.4f %-8.2f\n", e.Epoch, e.Loss, e.Score, e.CompressionRatio)
 	}
-	fmt.Printf("channel: offloaded=%d restored=%d corrupted=%d retried=%d recomputed=%d verified=%dB\n",
+	fmt.Printf("channel: offloaded=%d restored=%d corrupted=%d retried=%d recomputed=%d dropped=%d verified=%dB\n",
 		stats.Offloaded, stats.Restored, stats.Corrupted, stats.Retried,
-		stats.Recomputed, stats.BytesVerified)
+		stats.Recomputed, stats.Dropped, stats.BytesVerified)
 	if inj != nil {
 		s := inj.Stats()
 		fmt.Printf("injector: transfers=%d flips=%d truncations=%d drops=%d forced=%d\n",

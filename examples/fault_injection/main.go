@@ -65,6 +65,26 @@ func main() {
 	} else {
 		fmt.Println("BUG: faulty trajectory diverged from the clean run")
 	}
+
+	// Async + faults: the pipelined engine discovers the corruption in
+	// its prefetcher mid-backward, recovers, and still lands on the
+	// clean trajectory.
+	inj = jpegact.NewFaultInjector(jpegact.FaultConfig{
+		Seed: 81, BitFlipPerByte: 1e-5, DropRate: 0.02,
+	})
+	rep, stats, err = jpegact.TrainClassifierOffloaded("ResNet18", sc, cfg,
+		jpegact.OffloadTrainOptions{
+			DQT: jpegact.OptL(), Channel: inj, Policy: jpegact.RecoverRecompute,
+			MaxRecompute: 16, Async: true,
+		}, 42)
+	check(err)
+	fmt.Printf("async + recompute:  final loss %.6f (%d recomputes, %d drops counted)\n",
+		finalLoss(rep), stats.Recomputed, stats.Dropped)
+	if finalLoss(rep) == finalLoss(clean) {
+		fmt.Println("asynchronous recovery is also invisible — sync and async trajectories agree")
+	} else {
+		fmt.Println("BUG: async faulty trajectory diverged from the clean run")
+	}
 }
 
 func finalLoss(r jpegact.TrainReport) float64 {

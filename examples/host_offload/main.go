@@ -4,6 +4,13 @@
 // a time, in reverse order, as the backward pass needs them — so the
 // live float footprint between forward and backward is just the
 // compressed bytes, exactly the paper's system-level saving.
+//
+// It then runs the same step through the async engine: save hooks
+// stream each activation to the encode workers the moment the forward
+// pass no longer needs it, frames are committed to the channel in
+// submission order, and a reverse-order prefetcher stages restores
+// ahead of the backward pass — the offload–compute overlap of Fig. 1a,
+// with bit-identical results.
 package main
 
 import (
@@ -61,6 +68,43 @@ func main() {
 
 	m.Net.Backward(grad)
 	fmt.Println("backward complete on the restored (lossy) activations")
+
+	// --- The same step, pipelined ------------------------------------
+	// The engine overlaps compression and channel traffic with compute:
+	// OnSave streams activations out during the forward pass, OnNeed
+	// consumes prefetched restores during backward.
+	asyncStore := offload.NewStore(quant.OptL())
+	eng := offload.NewEngine(asyncStore, offload.EngineConfig{
+		Async: true, Prefetch: 4, InFlightBytes: 1 << 20,
+	})
+	defer eng.Close()
+
+	eng.BeginStep()
+	nn.SetHooks(m.Net, &nn.Hooks{OnSave: eng.Offload})
+	out = m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: x}, true)
+	loss, grad = nn.SoftmaxCrossEntropy(out.T, labels)
+	aorig, acomp, err := eng.EndForward(m.Net.SavedRefs())
+	if err != nil {
+		panic(err)
+	}
+	if err := eng.PrepareBackward(); err != nil {
+		panic(err)
+	}
+	nn.SetHooks(m.Net, &nn.Hooks{OnNeed: func(ref *nn.ActRef) {
+		if err := eng.Restore(ref); err != nil {
+			panic(err)
+		}
+	}})
+	m.Net.Backward(grad)
+	nn.SetHooks(m.Net, nil)
+	if err := eng.EndStep(); err != nil {
+		panic(err)
+	}
+	es := eng.Stats()
+	fmt.Printf("async engine: %.2f MB -> %.2f MB streamed during forward, loss %.3f\n",
+		float64(aorig)/1e6, float64(acomp)/1e6, loss)
+	fmt.Printf("prefetcher served %d restores staged ahead, %d after a wait (in-flight peak %d B)\n",
+		es.PrefetchHits, es.PrefetchWaits, es.MaxInFlight)
 
 	// The same compression, driven through the one-call facade:
 	res := jpegact.CompressActivation(jpegact.JPEGACT(), x, jpegact.KindConv, 0)

@@ -1,0 +1,72 @@
+package nn
+
+// Hooks connect a network to an activation offload scheduler without the
+// layers knowing anything about compression or channels.
+//
+// OnSave fires during a training-mode forward pass the moment a saved
+// activation becomes *emission-safe*: no remaining forward computation
+// will read its tensor, so the scheduler may compress it and release the
+// float data immediately — this is what lets offload traffic overlap the
+// rest of the forward pass instead of bursting at its end. A container
+// never emits its own input (an enclosing block — a residual shortcut,
+// the sum — may still read it) and never emits the current frontier (the
+// next layer's input); whatever those rules hold back is swept by the
+// trainer after the forward pass completes.
+//
+// OnNeed fires during the backward pass just before a layer reads one of
+// its saved refs, giving the scheduler the precise demand order for
+// restores (and prefetch lookahead). Both hooks may be nil.
+type Hooks struct {
+	OnSave func(*ActRef)
+	OnNeed func(*ActRef)
+}
+
+// hookHost is implemented by containers that propagate hooks and emit
+// save/need events for their children.
+type hookHost interface {
+	setHooks(*Hooks)
+	hooked() bool
+}
+
+// SetHooks installs h on every hook-aware container reachable from l
+// (pass nil to detach). Leaf layers are unaffected; their events are
+// emitted by the enclosing container.
+func SetHooks(l Layer, h *Hooks) {
+	if hh, ok := l.(hookHost); ok {
+		hh.setHooks(h)
+	}
+}
+
+// emitSaved fires OnSave for each of l's saved refs except the excluded
+// live ones (the container's input and the current frontier). Refs an
+// inner container already emitted are deduplicated downstream by the
+// scheduler.
+func emitSaved(h *Hooks, l Layer, exclude ...*ActRef) {
+	if h == nil || h.OnSave == nil {
+		return
+	}
+refs:
+	for _, ref := range l.SavedRefs() {
+		for _, ex := range exclude {
+			if ref == ex {
+				continue refs
+			}
+		}
+		h.OnSave(ref)
+	}
+}
+
+// announceNeeds fires OnNeed for each ref a leaf child is about to read
+// in Backward. Hooked containers announce internally at finer grain, so
+// they are skipped here.
+func announceNeeds(h *Hooks, l Layer) {
+	if h == nil || h.OnNeed == nil {
+		return
+	}
+	if hh, ok := l.(hookHost); ok && hh.hooked() {
+		return
+	}
+	for _, ref := range l.SavedRefs() {
+		h.OnNeed(ref)
+	}
+}

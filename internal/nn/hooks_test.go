@@ -1,0 +1,92 @@
+package nn_test
+
+import (
+	"testing"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/data"
+	"jpegact/internal/models"
+	"jpegact/internal/nn"
+	"jpegact/internal/tensor"
+)
+
+// TestHooksStreamingMatchesUnhooked drives the save/need hooks as a
+// scheduler would, but with a brutal twist that proves emission safety:
+// the moment OnSave fires, the ref's tensor is taken away (stashed and
+// nilled). If a container ever emitted a ref some later forward
+// computation still reads — the residual-shortcut aliasing case — the
+// forward pass nil-panics. The tensors come back only at OnNeed, so the
+// backward announcements must also be complete and timely. The whole
+// run must match an un-hooked run bit-exactly.
+func TestHooksStreamingMatchesUnhooked(t *testing.T) {
+	run := func(hooked bool) (float64, []*nn.Param, int) {
+		m := models.ResNet18(models.Scale{Width: 6, Blocks: 1}, 2, tensor.NewRNG(11))
+		ds := data.NewClassification(data.ClassificationConfig{Classes: 2, Channels: 3, H: 16, W: 16, Seed: 12})
+		x, labels := ds.Batch(4)
+
+		stash := map[*nn.ActRef]*tensor.Tensor{}
+		emitted := 0
+		if hooked {
+			nn.SetHooks(m.Net, &nn.Hooks{
+				OnSave: func(ref *nn.ActRef) {
+					if ref.T == nil {
+						return
+					}
+					if _, ok := stash[ref]; ok {
+						return
+					}
+					emitted++
+					stash[ref] = ref.T
+					ref.T = nil
+				},
+				OnNeed: func(ref *nn.ActRef) {
+					if saved, ok := stash[ref]; ok {
+						ref.T = saved
+						delete(stash, ref)
+					}
+				},
+			})
+		}
+		out := m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: x}, true)
+		loss, grad := nn.SoftmaxCrossEntropy(out.T, labels)
+		m.Net.Backward(grad)
+		return loss, m.Net.Params(), emitted
+	}
+
+	lossA, paramsA, _ := run(false)
+	lossB, paramsB, emitted := run(true)
+	if emitted == 0 {
+		t.Fatal("no refs streamed during forward")
+	}
+	if lossA != lossB {
+		t.Fatalf("loss diverged: %v vs %v", lossA, lossB)
+	}
+	if len(paramsA) != len(paramsB) {
+		t.Fatalf("param count %d vs %d", len(paramsA), len(paramsB))
+	}
+	for i := range paramsA {
+		a, b := paramsA[i], paramsB[i]
+		if a.Name != b.Name {
+			t.Fatalf("param %d name %q vs %q", i, a.Name, b.Name)
+		}
+		for j := range a.Grad.Data {
+			if a.Grad.Data[j] != b.Grad.Data[j] {
+				t.Fatalf("grad %q[%d] diverged: %v vs %v", a.Name, j, a.Grad.Data[j], b.Grad.Data[j])
+			}
+		}
+	}
+}
+
+// TestSetHooksDetach verifies nil detaches cleanly.
+func TestSetHooksDetach(t *testing.T) {
+	m := models.ResNet18(models.Scale{Width: 6, Blocks: 1}, 2, tensor.NewRNG(13))
+	calls := 0
+	nn.SetHooks(m.Net, &nn.Hooks{OnSave: func(*nn.ActRef) { calls++ }})
+	nn.SetHooks(m.Net, nil)
+	ds := data.NewClassification(data.ClassificationConfig{Classes: 2, Channels: 3, H: 16, W: 16, Seed: 14})
+	x, _ := ds.Batch(2)
+	m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: x}, true)
+	if calls != 0 {
+		t.Fatalf("detached hooks still fired %d times", calls)
+	}
+}

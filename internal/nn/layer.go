@@ -69,6 +69,7 @@ type Layer interface {
 type Sequential struct {
 	LayerName string
 	Layers    []Layer
+	hooks     *Hooks
 }
 
 // NewSequential builds a sequential container.
@@ -79,21 +80,43 @@ func NewSequential(name string, layers ...Layer) *Sequential {
 // Name implements Layer.
 func (s *Sequential) Name() string { return s.LayerName }
 
-// Forward runs all layers in order.
+// Forward runs all layers in order. With save hooks installed (training
+// mode) each child's saved refs are emitted as soon as the child has
+// run, excluding the two still-live tensors: the chain's own input
+// (an enclosing block may read it again) and the child's output, which
+// is the next layer's input.
 func (s *Sequential) Forward(in *ActRef, train bool) *ActRef {
+	cur := in
 	for _, l := range s.Layers {
-		in = l.Forward(in, train)
+		out := l.Forward(cur, train)
+		if train && s.hooks != nil {
+			emitSaved(s.hooks, l, out, in)
+		}
+		cur = out
 	}
-	return in
+	return cur
 }
 
-// Backward runs all layers in reverse.
+// Backward runs all layers in reverse, announcing each leaf child's
+// saved refs just before that child reads them.
 func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
+		if s.hooks != nil {
+			announceNeeds(s.hooks, s.Layers[i])
+		}
 		grad = s.Layers[i].Backward(grad)
 	}
 	return grad
 }
+
+func (s *Sequential) setHooks(h *Hooks) {
+	s.hooks = h
+	for _, l := range s.Layers {
+		SetHooks(l, h)
+	}
+}
+
+func (s *Sequential) hooked() bool { return s.hooks != nil }
 
 // Params collects all parameters.
 func (s *Sequential) Params() []*Param {
@@ -123,6 +146,7 @@ type Residual struct {
 	LayerName string
 	Body      Layer
 	Shortcut  Layer // nil = identity
+	hooks     *Hooks
 }
 
 // NewResidual builds a residual block.
@@ -151,15 +175,31 @@ func (r *Residual) Forward(in *ActRef, train bool) *ActRef {
 // Backward implements Layer: the gradient flows unchanged into both the
 // body and the shortcut, and the input gradients add.
 func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.hooks != nil {
+		announceNeeds(r.hooks, r.Body)
+	}
 	gBody := r.Body.Backward(grad.Clone())
 	gShort := grad
 	if r.Shortcut != nil {
+		if r.hooks != nil {
+			announceNeeds(r.hooks, r.Shortcut)
+		}
 		gShort = r.Shortcut.Backward(grad.Clone())
 	}
 	out := gBody.Clone()
 	out.Add(gShort)
 	return out
 }
+
+func (r *Residual) setHooks(h *Hooks) {
+	r.hooks = h
+	SetHooks(r.Body, h)
+	if r.Shortcut != nil {
+		SetHooks(r.Shortcut, h)
+	}
+}
+
+func (r *Residual) hooked() bool { return r.hooks != nil }
 
 // Params implements Layer.
 func (r *Residual) Params() []*Param {

@@ -1,0 +1,165 @@
+// Package codec is the pure compression layer of the offload stack: it
+// turns an activation tensor into a self-describing frame and back,
+// reusing the internal/compress pipelines (JPEG-ACT SH+ZVC, SFPR+ZVC,
+// BRC) behind a small registry keyed by frame codec. It performs no
+// I/O, touches no channel and keeps no state — encode and decode are
+// deterministic pure functions of (DQT, S, input), which is what lets
+// the async scheduler run them on any worker at any time without
+// changing a single output bit.
+package codec
+
+import (
+	"fmt"
+
+	"jpegact/internal/coding"
+	"jpegact/internal/compress"
+	"jpegact/internal/dct"
+	"jpegact/internal/frame"
+	"jpegact/internal/quant"
+	"jpegact/internal/sfpr"
+	"jpegact/internal/tensor"
+)
+
+// Pipeline is one configured codec set: the quantization table and SFPR
+// scale shared by every registered codec. It is a cheap value.
+type Pipeline struct {
+	DQT quant.DQT
+	S   float64
+}
+
+// New builds a pipeline with the paper's default SFPR scale.
+func New(d quant.DQT) Pipeline { return Pipeline{DQT: d, S: sfpr.DefaultS} }
+
+// Encoded is the result of encoding one activation: the frame to ship,
+// plus the BRC sign mask when the BRC codec was selected (the mask never
+// leaves the GPU; the frame exists only for accounting).
+type Encoded struct {
+	Frame *frame.Frame
+	Mask  []bool
+}
+
+// EncodeFunc produces a frame (and optional mask) from a tensor.
+type EncodeFunc func(p Pipeline, kind compress.Kind, x *tensor.Tensor) (Encoded, error)
+
+// DecodeFunc reconstructs a tensor from a validated frame. BRC returns
+// a nil tensor: the mask was attached at encode time and never left.
+type DecodeFunc func(p Pipeline, f *frame.Frame) (*tensor.Tensor, error)
+
+type codecImpl struct {
+	encode EncodeFunc
+	decode DecodeFunc
+}
+
+var registry = map[frame.Codec]codecImpl{}
+
+// Register installs a codec implementation. The built-in BRC, JPEG and
+// ZVC codecs self-register; tests and extensions may override.
+func Register(c frame.Codec, enc EncodeFunc, dec DecodeFunc) {
+	registry[c] = codecImpl{encode: enc, decode: dec}
+}
+
+func init() {
+	Register(frame.CodecBRC, encodeBRC, decodeBRC)
+	Register(frame.CodecJPEG, encodeJPEG, decodeJPEG)
+	Register(frame.CodecZVC, encodeZVC, decodeZVC)
+}
+
+// Select implements the Table II policy at the frame level: ReLU→other
+// activations keep only the sign mask (BRC); dense conv inputs big
+// enough to tile into 8×8 blocks go through the JPEG-ACT DCT path; all
+// remaining kinds and small tensors fall back to SFPR+ZVC.
+func Select(kind compress.Kind, sh tensor.Shape) frame.Codec {
+	switch {
+	case kind == compress.KindReLUToOther:
+		return frame.CodecBRC
+	case kind == compress.KindConv && sh.N*sh.C*sh.H >= dct.BlockSize && sh.W >= dct.BlockSize:
+		return frame.CodecJPEG
+	default:
+		return frame.CodecZVC
+	}
+}
+
+// Encode compresses x as an activation of the given kind into a frame,
+// selecting the codec per the Table II policy.
+func (p Pipeline) Encode(kind compress.Kind, x *tensor.Tensor) (Encoded, error) {
+	c := Select(kind, x.Shape)
+	impl, ok := registry[c]
+	if !ok || impl.encode == nil {
+		return Encoded{}, fmt.Errorf("codec: no encoder for %s", c)
+	}
+	return impl.encode(p, kind, x)
+}
+
+// Decode reconstructs the tensor a validated frame describes (nil for
+// BRC frames, whose mask never crossed the channel).
+func (p Pipeline) Decode(f *frame.Frame) (*tensor.Tensor, error) {
+	impl, ok := registry[f.Codec]
+	if !ok || impl.decode == nil {
+		return nil, fmt.Errorf("%w: codec %s", frame.ErrHeader, f.Codec)
+	}
+	return impl.decode(p, f)
+}
+
+// --- built-in codecs --------------------------------------------------
+
+func encodeBRC(_ Pipeline, kind compress.Kind, x *tensor.Tensor) (Encoded, error) {
+	f := &frame.Frame{Codec: frame.CodecBRC, Kind: uint8(kind), Shape: x.Shape}
+	f.Payload = coding.EncodeBRC(x.Data)
+	mask, err := coding.DecodeBRC(f.Payload, x.Elems())
+	if err != nil {
+		return Encoded{}, err
+	}
+	return Encoded{Frame: f, Mask: mask}, nil
+}
+
+func decodeBRC(Pipeline, *frame.Frame) (*tensor.Tensor, error) {
+	// The mask was attached to the ref at offload time and never left
+	// the GPU; the host frame exists only for accounting.
+	return nil, nil
+}
+
+func encodeJPEG(p Pipeline, kind compress.Kind, x *tensor.Tensor) (Encoded, error) {
+	pl := compress.JPEGAct(p.DQT)
+	pl.S = p.S
+	blocks, scales, _ := pl.QuantizeBlocks(x)
+	f := &frame.Frame{Codec: frame.CodecJPEG, Kind: uint8(kind), Shape: x.Shape}
+	f.Payload = coding.EncodeZVCBlocks(blocks)
+	f.Scales = scales
+	return Encoded{Frame: f}, nil
+}
+
+func decodeJPEG(p Pipeline, f *frame.Frame) (*tensor.Tensor, error) {
+	info := tensor.BlockPadInfo(f.Shape, dct.BlockSize)
+	nBlocks := info.PaddedElems() / 64
+	blocks, err := coding.DecodeZVCBlocks(f.Payload, nBlocks)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Scales) != f.Shape.C {
+		return nil, fmt.Errorf("%w: %d scales for %d channels", frame.ErrHeader, len(f.Scales), f.Shape.C)
+	}
+	pl := compress.JPEGAct(p.DQT)
+	pl.S = p.S
+	return pl.ReconstructBlocks(blocks, f.Scales, info), nil
+}
+
+func encodeZVC(p Pipeline, kind compress.Kind, x *tensor.Tensor) (Encoded, error) {
+	c := sfpr.Compress(x, p.S)
+	f := &frame.Frame{Codec: frame.CodecZVC, Kind: uint8(kind), Shape: x.Shape}
+	f.Payload = coding.EncodeZVC(c.Values)
+	f.Scales = c.Scales
+	return Encoded{Frame: f}, nil
+}
+
+func decodeZVC(_ Pipeline, f *frame.Frame) (*tensor.Tensor, error) {
+	vals, err := coding.DecodeZVC(f.Payload, f.Shape.Elems())
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Scales) != f.Shape.C {
+		return nil, fmt.Errorf("%w: %d scales for %d channels", frame.ErrHeader, len(f.Scales), f.Shape.C)
+	}
+	out := tensor.New(f.Shape.N, f.Shape.C, f.Shape.H, f.Shape.W)
+	sfpr.DequantizeInto(vals, f.Scales, out)
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package codec
+
+import (
+	"testing"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/data"
+	"jpegact/internal/frame"
+	"jpegact/internal/quant"
+	"jpegact/internal/tensor"
+)
+
+func TestSelectPolicy(t *testing.T) {
+	big := tensor.Shape{N: 2, C: 4, H: 16, W: 16}
+	small := tensor.Shape{N: 1, C: 2, H: 4, W: 4}
+	cases := []struct {
+		kind compress.Kind
+		sh   tensor.Shape
+		want frame.Codec
+	}{
+		{compress.KindReLUToOther, big, frame.CodecBRC},
+		{compress.KindConv, big, frame.CodecJPEG},
+		{compress.KindConv, small, frame.CodecZVC},
+		{compress.KindReLUToConv, big, frame.CodecZVC},
+		{compress.KindPoolDropout, big, frame.CodecZVC},
+	}
+	for _, c := range cases {
+		if got := Select(c.kind, c.sh); got != c.want {
+			t.Fatalf("Select(%v, %v) = %v, want %v", c.kind, c.sh, got, c.want)
+		}
+	}
+}
+
+func TestRoundtripMatchesFunctionalMethod(t *testing.T) {
+	// The codec layer must reconstruct exactly what the functional
+	// JPEG-ACT method produces (same pipeline, same DQT) — the property
+	// the recompute recovery path's bit-exactness rests on.
+	r := tensor.NewRNG(2)
+	x := data.ActivationTensor(r, 2, 4, 16, 16, 0.5, 1.0)
+	m := compress.NewJPEGAct(quant.Fixed(quant.OptL()))
+	want := m.Compress(x.Clone(), compress.KindConv, 0).Recovered
+
+	p := New(quant.OptL())
+	enc, err := p.Encode(compress.KindConv, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Frame.Codec != frame.CodecJPEG || enc.Mask != nil {
+		t.Fatalf("dense conv must take the JPEG path: %+v", enc.Frame.Codec)
+	}
+	// Through a real frame encode/decode, as the transport would see it.
+	f, err := frame.DecodeFrame(frame.EncodeFrame(enc.Frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MSE(want, got) != 0 {
+		t.Fatal("codec and functional method disagree")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	r := tensor.NewRNG(3)
+	x := data.ActivationTensor(r, 1, 3, 16, 16, 0.5, 1.0)
+	p := New(quant.OptH())
+	a, err := p.Encode(compress.KindConv, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Encode(compress.KindConv, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, bb := frame.EncodeFrame(a.Frame), frame.EncodeFrame(b.Frame)
+	if string(ab) != string(bb) {
+		t.Fatal("encode is not deterministic")
+	}
+}
+
+func TestBRCMask(t *testing.T) {
+	r := tensor.NewRNG(4)
+	x := data.ActivationTensor(r, 1, 2, 8, 8, 0.5, 1.0)
+	for i, v := range x.Data {
+		if v < 0 {
+			x.Data[i] = 0
+		}
+	}
+	p := New(quant.OptL())
+	enc, err := p.Encode(compress.KindReLUToOther, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Mask == nil || enc.Frame.Codec != frame.CodecBRC {
+		t.Fatal("BRC path must produce a mask")
+	}
+	for i, v := range x.Data {
+		if enc.Mask[i] != (v > 0) {
+			t.Fatalf("mask bit %d wrong", i)
+		}
+	}
+	got, err := p.Decode(enc.Frame)
+	if err != nil || got != nil {
+		t.Fatalf("BRC decode must be a nil-tensor no-op, got %v, %v", got, err)
+	}
+}
+
+func TestDecodeUnknownCodec(t *testing.T) {
+	p := New(quant.OptL())
+	_, err := p.Decode(&frame.Frame{Codec: frame.Codec(9)})
+	if err == nil {
+		t.Fatal("unknown codec must error")
+	}
+}

@@ -7,25 +7,36 @@
 // tensor immediately — this path realizes the memory saving for real:
 // between offload and restore, only the compressed bytes are live.
 //
-// The store treats the GPU↔host transfer as a fault-prone physical
-// channel: every activation crosses it inside a self-describing frame
-// (internal/frame) whose CRC32C is verified before the host copy is
-// released, and on corruption a configurable RecoveryPolicy decides
-// whether to fail with a typed error, re-read the channel, or recompute
-// the activation from scratch (gradient-checkpointing style, wired in by
+// The stack is split into three explicit layers, mirroring the paper's
+// Fig. 7 datapath:
+//
+//   - codec (internal/offload/codec): pure tensor↔frame compression,
+//     the CDU of the paper;
+//   - transport (internal/offload/transport): the GPU↔host byte path —
+//     framing, CRC validation, retry/backoff — the DMA engine;
+//   - scheduler (Engine, engine.go): the async pipeline that overlaps
+//     compression and transfers with forward/backward compute.
+//
+// Store is the bookkeeping core the layers meet at: it maps activation
+// refs to host entries and drives the synchronous (degenerate) path.
+// On corruption a configurable RecoveryPolicy decides whether to fail
+// with a typed error, re-read the channel, or recompute the activation
+// from scratch (gradient-checkpointing style, wired in by
 // internal/train).
 package offload
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
-	"jpegact/internal/coding"
-	"jpegact/internal/compress"
 	"jpegact/internal/dct"
 	"jpegact/internal/frame"
 	"jpegact/internal/nn"
+	"jpegact/internal/offload/codec"
+	"jpegact/internal/offload/transport"
 	"jpegact/internal/quant"
 	"jpegact/internal/sfpr"
 	"jpegact/internal/tensor"
@@ -39,22 +50,15 @@ var ErrNotStored = errors.New("offload: activation not stored")
 // recompute out of band.
 var ErrCorrupted = errors.New("offload: corrupted beyond recovery")
 
-// Channel abstracts the GPU↔host byte path. Send models the offload
-// direction (what it returns is what lands in host memory — faults there
-// are persistent); Recv models the restore direction (faults there are
-// transient, so a retry re-reads the intact host copy). A nil return
-// models a dropped transfer. internal/faults.Injector implements this
-// interface; the zero-configuration default is a clean passthrough.
-type Channel interface {
-	Send(b []byte) []byte
-	Recv(b []byte) []byte
-}
+// ErrDropped is the transport layer's typed error for a transfer that
+// yielded no bytes at all (a lost DMA) — distinct from truncation or
+// bit corruption. Match with errors.Is.
+var ErrDropped = transport.ErrDropped
 
-// cleanChannel is the fault-free default.
-type cleanChannel struct{}
-
-func (cleanChannel) Send(b []byte) []byte { return b }
-func (cleanChannel) Recv(b []byte) []byte { return b }
+// Channel is the transport layer's GPU↔host byte path; see
+// transport.Channel. internal/faults.Injector implements it; nil means
+// a clean passthrough.
+type Channel = transport.Channel
 
 // RecoveryPolicy selects what Restore does when a frame fails its CRC.
 type RecoveryPolicy int
@@ -103,13 +107,17 @@ type Recovery struct {
 	Recompute func(ref *nn.ActRef) error
 }
 
-// Stats counts the store's channel activity and recovery actions.
+// Stats is a point-in-time snapshot of the store's channel activity and
+// recovery counters. The live counters are atomic — the async engine's
+// workers and prefetcher update them concurrently — and Store.Stats
+// assembles a coherent plain-value copy.
 type Stats struct {
 	Offloaded  uint64 // activations sent to host memory
 	Restored   uint64 // activations brought back successfully
-	Corrupted  uint64 // frame reads that failed validation
+	Corrupted  uint64 // frame reads that failed validation (incl. drops)
 	Retried    uint64 // channel re-reads attempted
 	Recomputed uint64 // corruptions resolved by the Recompute hook
+	Dropped    uint64 // transfers that yielded no bytes (counted within Corrupted too)
 	// BytesOffloaded / BytesVerified total the frame bytes written to,
 	// and CRC-verified back from, host memory.
 	BytesOffloaded int64
@@ -125,7 +133,10 @@ type entry struct {
 }
 
 // Store is a host-memory activation store using the JPEG-ACT pipeline
-// with a fixed DQT.
+// with a fixed DQT. It composes the codec and transport layers and owns
+// the ref→entry bookkeeping; the async scheduler (Engine) drives it
+// through the same internal operations the synchronous Offload/Restore
+// use, so both paths land on identical bytes.
 type Store struct {
 	DQT quant.DQT
 	S   float64
@@ -133,14 +144,20 @@ type Store struct {
 	Channel Channel
 	// Recovery selects the corruption policy (zero value = PolicyFail).
 	Recovery Recovery
-	// Stats accumulates channel and recovery counters for the lifetime
-	// of the store.
-	Stats Stats
+	// Sleep is injected into the retry/backoff path (nil = time.Sleep);
+	// tests install a recording clock so recovery never real-sleeps.
+	Sleep func(time.Duration)
 
-	entries map[*nn.ActRef]*entry
-	nextSeq int
-	// HostBytes is the total framed footprint currently resident.
-	HostBytes int
+	mu        sync.Mutex
+	entries   map[*nn.ActRef]*entry
+	nextSeq   int
+	hostBytes int
+
+	offloaded      atomic.Uint64
+	restored       atomic.Uint64
+	recomputed     atomic.Uint64
+	bytesOffloaded atomic.Int64
+	tstats         transport.Stats
 }
 
 // NewStore builds a store with the given quantization table and a clean
@@ -149,11 +166,54 @@ func NewStore(d quant.DQT) *Store {
 	return &Store{DQT: d, S: sfpr.DefaultS, entries: map[*nn.ActRef]*entry{}}
 }
 
-func (s *Store) channel() Channel {
-	if s.Channel == nil {
-		return cleanChannel{}
+// pipeline returns the codec layer configured with the store's table.
+func (s *Store) pipeline() codec.Pipeline {
+	return codec.Pipeline{DQT: s.DQT, S: s.S}
+}
+
+// effRetries maps the recovery policy onto the transport retry budget.
+func (s *Store) effRetries() int {
+	switch s.Recovery.Policy {
+	case PolicyFail:
+		return 0
+	case PolicyRetry:
+		if s.Recovery.MaxRetries == 0 {
+			return 3
+		}
 	}
-	return s.Channel
+	return s.Recovery.MaxRetries
+}
+
+// transportView returns the transport layer configured with the store's
+// current channel, retry schedule and shared counters.
+func (s *Store) transportView() transport.Transport {
+	return transport.Transport{
+		Channel: s.Channel,
+		Retries: s.effRetries(),
+		Backoff: s.Recovery.Backoff,
+		Sleep:   s.Sleep,
+		Stats:   &s.tstats,
+	}
+}
+
+// merge folds the transport layer's counters into the snapshot.
+func (s *Stats) merge(t transport.Snapshot) {
+	s.Corrupted = t.Corrupted
+	s.Retried = t.Retried
+	s.Dropped = t.Dropped
+	s.BytesVerified = t.BytesVerified
+}
+
+// Stats returns a point-in-time snapshot of the counters.
+func (s *Store) Stats() Stats {
+	out := Stats{
+		Offloaded:      s.offloaded.Load(),
+		Restored:       s.restored.Load(),
+		Recomputed:     s.recomputed.Load(),
+		BytesOffloaded: s.bytesOffloaded.Load(),
+	}
+	out.merge(s.tstats.Snapshot())
+	return out
 }
 
 // Offload compresses the ref's activation into a framed host-memory
@@ -161,87 +221,114 @@ func (s *Store) channel() Channel {
 // replaces it). Refs are deduplicated by pointer; offloading the same
 // ref twice is an error.
 func (s *Store) Offload(ref *nn.ActRef) error {
-	if _, dup := s.entries[ref]; dup {
+	s.mu.Lock()
+	_, dup := s.entries[ref]
+	s.mu.Unlock()
+	if dup {
 		return fmt.Errorf("offload: offload %q (%s): already stored", ref.Name, ref.Kind)
 	}
 	if ref.T == nil {
 		return fmt.Errorf("offload: offload %q (%s): %w", ref.Name, ref.Kind, ErrNotStored)
 	}
-	x := ref.T
-	f := &frame.Frame{Kind: uint8(ref.Kind), Shape: x.Shape}
-
-	switch ref.Kind {
-	case compress.KindReLUToOther:
-		f.Codec = frame.CodecBRC
-		f.Payload = coding.EncodeBRC(x.Data)
-		mask, err := coding.DecodeBRC(f.Payload, x.Elems())
-		if err != nil {
-			return fmt.Errorf("offload: offload %q (%s): %w", ref.Name, ref.Kind, err)
-		}
-		ref.Mask = mask
-		ref.T = nil
-	case compress.KindConv:
-		if x.Shape.N*x.Shape.C*x.Shape.H >= 8 && x.Shape.W >= 8 {
-			p := compress.JPEGAct(s.DQT)
-			p.S = s.S
-			blocks, scales, _ := p.QuantizeBlocks(x)
-			f.Codec = frame.CodecJPEG
-			f.Payload = coding.EncodeZVCBlocks(blocks)
-			f.Scales = scales
-			ref.T = nil
-			break
-		}
-		fallthrough
-	default:
-		// Sparse kinds and small tensors: SFPR + ZVC.
-		c := sfpr.Compress(x, s.S)
-		f.Codec = frame.CodecZVC
-		f.Payload = coding.EncodeZVC(c.Values)
-		f.Scales = c.Scales
-		ref.T = nil
+	enc, err := s.pipeline().Encode(ref.Kind, ref.T)
+	if err != nil {
+		return fmt.Errorf("offload: offload %q (%s): %w", ref.Name, ref.Kind, err)
 	}
-
-	// The framed buffer crosses the channel; what Send returns is what
-	// actually landed in host memory (send-side faults are persistent).
-	buf := s.channel().Send(frame.EncodeFrame(f))
-	e := &entry{seq: s.nextSeq, buf: buf}
-	s.nextSeq++
-	s.entries[ref] = e
-	s.HostBytes += len(buf)
-	s.Stats.Offloaded++
-	s.Stats.BytesOffloaded += int64(len(buf))
+	s.commitEncoded(ref, frame.EncodeFrame(enc.Frame), enc.Mask)
 	return nil
 }
 
-// readFrame reads the entry back through the channel and validates the
-// frame, applying the retry schedule of the recovery policy.
-func (s *Store) readFrame(e *entry) (*frame.Frame, error) {
-	retries := s.Recovery.MaxRetries
-	if s.Recovery.Policy == PolicyRetry && retries == 0 {
-		retries = 3
+// commitEncoded pushes one encoded frame across the channel, records
+// the host entry, and releases the ref's tensor (attaching the BRC mask
+// when present). The scheduler calls this in strict submission order so
+// the channel sees the same Send sequence as the synchronous path.
+func (s *Store) commitEncoded(ref *nn.ActRef, data []byte, mask []bool) *entry {
+	// What Send returns is what actually landed in host memory
+	// (send-side faults are persistent).
+	buf := s.transportView().Send(data)
+	s.mu.Lock()
+	e := &entry{seq: s.nextSeq, buf: buf}
+	s.nextSeq++
+	s.entries[ref] = e
+	s.hostBytes += len(buf)
+	s.mu.Unlock()
+	if mask != nil {
+		ref.Mask = mask
 	}
-	if s.Recovery.Policy == PolicyFail {
-		retries = 0
+	ref.T = nil
+	s.offloaded.Add(1)
+	s.bytesOffloaded.Add(int64(len(buf)))
+	return e
+}
+
+// lookup returns the host entry for ref, if resident.
+func (s *Store) lookup(ref *nn.ActRef) (*entry, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[ref]
+	s.mu.Unlock()
+	return e, ok
+}
+
+// read pulls the entry's bytes back through the transport layer (with
+// the policy's retry schedule), returning the verified frame without
+// decoding it. It does not mutate the store, so a failure leaves the
+// entry untouched.
+func (s *Store) read(e *entry) (*frame.Frame, error) {
+	return s.transportView().Read(e.buf)
+}
+
+// fetch reads and decodes the entry into a staged tensor.
+func (s *Store) fetch(e *entry) (*tensor.Tensor, error) {
+	f, err := s.read(e)
+	if err != nil {
+		return nil, err
 	}
-	backoff := s.Recovery.Backoff
-	var err error
-	for attempt := 0; ; attempt++ {
-		var f *frame.Frame
-		f, err = frame.DecodeFrame(s.channel().Recv(e.buf))
-		if err == nil {
-			s.Stats.BytesVerified += int64(len(e.buf))
-			return f, nil
-		}
-		s.Stats.Corrupted++
-		if attempt >= retries {
-			return nil, err
-		}
-		s.Stats.Retried++
-		if backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
-		}
+	return s.pipeline().Decode(f)
+}
+
+// finishRestore attaches the staged tensor (nil for BRC refs, whose
+// mask is already attached) and frees the host copy.
+func (s *Store) finishRestore(ref *nn.ActRef, e *entry, t *tensor.Tensor) {
+	if t != nil {
+		ref.T = t
 	}
+	s.mu.Lock()
+	delete(s.entries, ref)
+	s.hostBytes -= len(e.buf)
+	s.mu.Unlock()
+	s.restored.Add(1)
+}
+
+// dropIfCurrent removes ref's entry if it is still e (a recompute hook
+// may have rebuilt the store wholesale, replacing it).
+func (s *Store) dropIfCurrent(ref *nn.ActRef, e *entry) {
+	s.mu.Lock()
+	if cur, still := s.entries[ref]; still && cur == e {
+		delete(s.entries, ref)
+		s.hostBytes -= len(e.buf)
+	}
+	s.mu.Unlock()
+}
+
+// recover applies the post-retry recovery policy to a failed restore:
+// under PolicyRecompute the hook re-materializes the activation (and
+// may rebuild the store); otherwise the typed error is surfaced with
+// the entry retained.
+func (s *Store) recover(ref *nn.ActRef, e *entry, err error) error {
+	if s.Recovery.Policy == PolicyRecompute && s.Recovery.Recompute != nil {
+		if rerr := s.Recovery.Recompute(ref); rerr != nil {
+			return fmt.Errorf("offload: restore %q (%s): %w: recompute failed: %v (original: %v)",
+				ref.Name, ref.Kind, ErrCorrupted, rerr, err)
+		}
+		s.recomputed.Add(1)
+		// The hook may have rebuilt the store wholesale; drop this
+		// ref's stale entry if it survived.
+		s.dropIfCurrent(ref, e)
+		return nil
+	}
+	// Entry retained: the only copy of the activation must not be
+	// destroyed by a failed decode.
+	return fmt.Errorf("offload: restore %q (%s): %w", ref.Name, ref.Kind, err)
 }
 
 // Restore decompresses the stored activation back into ref.T (no-op for
@@ -252,77 +339,16 @@ func (s *Store) readFrame(e *entry) (*frame.Frame, error) {
 // returns a typed error, PolicyRetry re-reads the channel, and
 // PolicyRecompute invokes the Recovery.Recompute hook.
 func (s *Store) Restore(ref *nn.ActRef) error {
-	e, ok := s.entries[ref]
+	e, ok := s.lookup(ref)
 	if !ok {
 		return fmt.Errorf("offload: restore %q (%s): %w", ref.Name, ref.Kind, ErrNotStored)
 	}
-
-	f, err := s.readFrame(e)
-	if err == nil {
-		err = s.decodeInto(ref, f)
-	}
+	t, err := s.fetch(e)
 	if err != nil {
-		if s.Recovery.Policy == PolicyRecompute && s.Recovery.Recompute != nil {
-			if rerr := s.Recovery.Recompute(ref); rerr != nil {
-				return fmt.Errorf("offload: restore %q (%s): %w: recompute failed: %v (original: %v)",
-					ref.Name, ref.Kind, ErrCorrupted, rerr, err)
-			}
-			s.Stats.Recomputed++
-			// The hook may have rebuilt the store wholesale; drop this
-			// ref's stale entry if it survived.
-			if cur, still := s.entries[ref]; still && cur == e {
-				delete(s.entries, ref)
-				s.HostBytes -= len(e.buf)
-			}
-			return nil
-		}
-		// Entry retained: the only copy of the activation must not be
-		// destroyed by a failed decode.
-		return fmt.Errorf("offload: restore %q (%s): %w", ref.Name, ref.Kind, err)
+		return s.recover(ref, e, err)
 	}
-
-	delete(s.entries, ref)
-	s.HostBytes -= len(e.buf)
-	s.Stats.Restored++
+	s.finishRestore(ref, e, t)
 	return nil
-}
-
-// decodeInto reconstructs the activation described by f onto ref. It
-// does not mutate the store, so a failure leaves the entry untouched.
-func (s *Store) decodeInto(ref *nn.ActRef, f *frame.Frame) error {
-	switch f.Codec {
-	case frame.CodecBRC:
-		// The mask was attached to the ref at offload time and never
-		// left the GPU; the host frame exists only for accounting.
-		return nil
-	case frame.CodecJPEG:
-		info := tensor.BlockPadInfo(f.Shape, dct.BlockSize)
-		nBlocks := info.PaddedElems() / 64
-		blocks, err := coding.DecodeZVCBlocks(f.Payload, nBlocks)
-		if err != nil {
-			return err
-		}
-		if len(f.Scales) != f.Shape.C {
-			return fmt.Errorf("%w: %d scales for %d channels", frame.ErrHeader, len(f.Scales), f.Shape.C)
-		}
-		p := compress.JPEGAct(s.DQT)
-		p.S = s.S
-		ref.T = p.ReconstructBlocks(blocks, f.Scales, info)
-		return nil
-	case frame.CodecZVC:
-		vals, err := coding.DecodeZVC(f.Payload, f.Shape.Elems())
-		if err != nil {
-			return err
-		}
-		if len(f.Scales) != f.Shape.C {
-			return fmt.Errorf("%w: %d scales for %d channels", frame.ErrHeader, len(f.Scales), f.Shape.C)
-		}
-		out := tensor.New(f.Shape.N, f.Shape.C, f.Shape.H, f.Shape.W)
-		sfpr.DequantizeInto(vals, f.Scales, out)
-		ref.T = out
-		return nil
-	}
-	return fmt.Errorf("%w: codec %s", frame.ErrHeader, f.Codec)
 }
 
 // OffloadAll offloads every unique saved ref of a network (forward-pass
@@ -336,10 +362,10 @@ func (s *Store) OffloadAll(refs []*nn.ActRef) (orig, comp int, err error) {
 		seen[ref] = true
 		orig += ref.T.Bytes()
 		if err := s.Offload(ref); err != nil {
-			return orig, s.HostBytes, err
+			return orig, s.HostBytes(), err
 		}
 	}
-	return orig, s.HostBytes, nil
+	return orig, s.HostBytes(), nil
 }
 
 // RestoreAll restores every stored ref in deterministic reverse-offload
@@ -350,7 +376,8 @@ func (s *Store) RestoreAll() error {
 	// Always restore the highest-sequence resident entry next. Re-scanning
 	// after every restore keeps the sweep correct even when a recompute
 	// hook rebuilds the store with fresh refs mid-sweep.
-	for len(s.entries) > 0 {
+	for {
+		s.mu.Lock()
 		var next *nn.ActRef
 		bestSeq := -1
 		for ref, e := range s.entries {
@@ -358,28 +385,44 @@ func (s *Store) RestoreAll() error {
 				bestSeq, next = e.seq, ref
 			}
 		}
+		s.mu.Unlock()
+		if next == nil {
+			return nil
+		}
 		if err := s.Restore(next); err != nil {
 			return err
 		}
 	}
-	return nil
 }
 
 // Reset drops every host entry (counters and the offload sequence are
 // preserved). Used by the recompute path to discard a stale step before
 // re-offloading freshly materialized activations.
 func (s *Store) Reset() {
+	s.mu.Lock()
 	s.entries = map[*nn.ActRef]*entry{}
-	s.HostBytes = 0
+	s.hostBytes = 0
+	s.mu.Unlock()
 }
 
 // Stored returns the number of resident host entries.
-func (s *Store) Stored() int { return len(s.entries) }
+func (s *Store) Stored() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// HostBytes returns the total framed footprint currently resident.
+func (s *Store) HostBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hostBytes
+}
 
 // Seq returns the offload sequence number of ref, and whether it is
 // currently stored (exposed for restore-order tests and tooling).
 func (s *Store) Seq(ref *nn.ActRef) (int, bool) {
-	e, ok := s.entries[ref]
+	e, ok := s.lookup(ref)
 	if !ok {
 		return 0, false
 	}

@@ -33,8 +33,8 @@ func TestOffloadRestoreDense(t *testing.T) {
 	if ref.T != nil {
 		t.Fatal("tensor not released after offload")
 	}
-	if s.HostBytes <= 0 || s.HostBytes >= origBytes {
-		t.Fatalf("host bytes %d vs original %d", s.HostBytes, origBytes)
+	if s.HostBytes() <= 0 || s.HostBytes() >= origBytes {
+		t.Fatalf("host bytes %d vs original %d", s.HostBytes(), origBytes)
 	}
 	if err := s.Restore(ref); err != nil {
 		t.Fatal(err)
@@ -42,17 +42,18 @@ func TestOffloadRestoreDense(t *testing.T) {
 	if ref.T == nil || ref.T.Shape != orig.Shape {
 		t.Fatal("restore failed")
 	}
-	if s.HostBytes != 0 || s.Stored() != 0 {
-		t.Fatalf("store not drained: %d bytes, %d entries", s.HostBytes, s.Stored())
+	if s.HostBytes() != 0 || s.Stored() != 0 {
+		t.Fatalf("store not drained: %d bytes, %d entries", s.HostBytes(), s.Stored())
 	}
 	if e := tensor.L2Error(orig, ref.T); e > 0.01 {
 		t.Fatalf("restored error %v", e)
 	}
-	if s.Stats.Offloaded != 1 || s.Stats.Restored != 1 || s.Stats.Corrupted != 0 {
-		t.Fatalf("stats %+v", s.Stats)
+	st := s.Stats()
+	if st.Offloaded != 1 || st.Restored != 1 || st.Corrupted != 0 {
+		t.Fatalf("stats %+v", st)
 	}
-	if s.Stats.BytesVerified <= 0 || s.Stats.BytesVerified != s.Stats.BytesOffloaded {
-		t.Fatalf("verified %d vs offloaded %d bytes", s.Stats.BytesVerified, s.Stats.BytesOffloaded)
+	if st.BytesVerified <= 0 || st.BytesVerified != st.BytesOffloaded {
+		t.Fatalf("verified %d vs offloaded %d bytes", st.BytesVerified, st.BytesOffloaded)
 	}
 }
 
@@ -166,7 +167,7 @@ func TestRestoreRetainsEntryOnError(t *testing.T) {
 	if err := s.Offload(ref); err != nil {
 		t.Fatal(err)
 	}
-	hostBytes := s.HostBytes
+	hostBytes := s.HostBytes()
 
 	err := s.Restore(ref)
 	if !errors.Is(err, frame.ErrTruncated) && !errors.Is(err, frame.ErrChecksum) {
@@ -175,14 +176,14 @@ func TestRestoreRetainsEntryOnError(t *testing.T) {
 	if !strings.Contains(err.Error(), `restore "act"`) {
 		t.Fatalf("error does not name the ref: %v", err)
 	}
-	if s.Stored() != 1 || s.HostBytes != hostBytes {
-		t.Fatalf("entry lost after failed restore: %d entries, %d bytes", s.Stored(), s.HostBytes)
+	if s.Stored() != 1 || s.HostBytes() != hostBytes {
+		t.Fatalf("entry lost after failed restore: %d entries, %d bytes", s.Stored(), s.HostBytes())
 	}
 	if ref.T != nil {
 		t.Fatal("failed restore must not attach a tensor")
 	}
-	if s.Stats.Corrupted != 1 {
-		t.Fatalf("corrupted count %d", s.Stats.Corrupted)
+	if st := s.Stats(); st.Corrupted != 1 {
+		t.Fatalf("corrupted count %d", st.Corrupted)
 	}
 
 	// The channel fault was transient; a second restore succeeds.
@@ -208,8 +209,8 @@ func TestRestoreRetryPolicy(t *testing.T) {
 	if err := s.Restore(ref); err != nil {
 		t.Fatalf("retry should have recovered: %v", err)
 	}
-	if s.Stats.Corrupted != 1 || s.Stats.Retried != 1 || s.Stats.Restored != 1 {
-		t.Fatalf("stats %+v", s.Stats)
+	if st := s.Stats(); st.Corrupted != 1 || st.Retried != 1 || st.Restored != 1 {
+		t.Fatalf("stats %+v", st)
 	}
 }
 
@@ -227,8 +228,8 @@ func TestRestoreRetryExhaustsOnPersistentFault(t *testing.T) {
 	if !errors.Is(err, frame.ErrChecksum) {
 		t.Fatalf("want checksum error, got %v", err)
 	}
-	if s.Stats.Retried != 2 || s.Stats.Corrupted != 3 {
-		t.Fatalf("stats %+v", s.Stats)
+	if st := s.Stats(); st.Retried != 2 || st.Corrupted != 3 {
+		t.Fatalf("stats %+v", st)
 	}
 	if s.Stored() != 1 {
 		t.Fatal("entry lost after exhausted retries")
@@ -256,10 +257,13 @@ func TestRestoreRecomputeHook(t *testing.T) {
 	if err := s.Restore(ref); err != nil {
 		t.Fatalf("recompute should have recovered: %v", err)
 	}
-	if recomputed != 1 || s.Stats.Recomputed != 1 {
-		t.Fatalf("recompute hook ran %d times, stats %+v", recomputed, s.Stats)
+	if recomputed != 1 {
+		t.Fatalf("recompute hook ran %d times", recomputed)
 	}
-	if ref.T == nil || s.Stored() != 0 || s.HostBytes != 0 {
+	if st := s.Stats(); st.Recomputed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if ref.T == nil || s.Stored() != 0 || s.HostBytes() != 0 {
 		t.Fatal("store not drained after recompute")
 	}
 }

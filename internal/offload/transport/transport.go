@@ -1,0 +1,156 @@
+// Package transport is the byte-moving layer of the offload stack: it
+// owns the GPU↔host channel abstraction, the framed read path with its
+// CRC validation, and the retry/backoff schedule that absorbs transient
+// channel faults. It knows nothing about tensors or compression — it
+// moves validated frames, nothing more.
+//
+// The layer split (codec / transport / scheduler) mirrors the paper's
+// Fig. 7 datapath: the CDU compresses (codec), the DMA engine moves
+// bytes over PCIe (this package), and the memory manager schedules the
+// transfers against compute (internal/offload.Engine).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"jpegact/internal/frame"
+)
+
+// Channel abstracts the GPU↔host byte path. Send models the offload
+// direction (what it returns is what lands in host memory — faults there
+// are persistent); Recv models the restore direction (faults there are
+// transient, so a retry re-reads the intact host copy). A nil return
+// models a dropped transfer. internal/faults.Injector implements this
+// interface; Clean is the fault-free default.
+type Channel interface {
+	Send(b []byte) []byte
+	Recv(b []byte) []byte
+}
+
+// Clean is the fault-free passthrough channel.
+type Clean struct{}
+
+// Send implements Channel.
+func (Clean) Send(b []byte) []byte { return b }
+
+// Recv implements Channel.
+func (Clean) Recv(b []byte) []byte { return b }
+
+// ErrDropped reports a transfer that yielded no bytes at all (the
+// channel returned nil) — a lost DMA, distinct from a truncated or
+// bit-flipped one. Reads that fail this way are retried on the same
+// schedule as corrupted ones, since a drop on the Recv side is
+// transient.
+var ErrDropped = errors.New("transport: transfer dropped")
+
+// Stats holds the transport layer's counters. All fields are atomic so
+// the async scheduler's workers and prefetcher can update them
+// concurrently; read a coherent copy with Snapshot.
+type Stats struct {
+	Corrupted     atomic.Uint64 // frame reads that failed validation (incl. drops)
+	Retried       atomic.Uint64 // channel re-reads attempted
+	Dropped       atomic.Uint64 // reads that yielded no bytes (nil transfer)
+	BytesVerified atomic.Int64  // frame bytes CRC-verified back from host memory
+}
+
+// Snapshot is a plain-value copy of Stats.
+type Snapshot struct {
+	Corrupted     uint64
+	Retried       uint64
+	Dropped       uint64
+	BytesVerified int64
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Corrupted:     s.Corrupted.Load(),
+		Retried:       s.Retried.Load(),
+		Dropped:       s.Dropped.Load(),
+		BytesVerified: s.BytesVerified.Load(),
+	}
+}
+
+// Transport is one configured view of the byte path: a channel plus the
+// retry schedule applied to reads. It is a cheap value — the offload
+// store builds one per operation from its current configuration.
+type Transport struct {
+	// Channel is the byte path (nil = Clean).
+	Channel Channel
+	// Retries bounds the re-reads after a failed frame validation.
+	Retries int
+	// Backoff is the initial delay between retries, doubled each attempt
+	// (0 retries immediately — the right setting for simulated channels).
+	Backoff time.Duration
+	// Sleep is invoked for backoff delays; nil means time.Sleep. Tests
+	// inject a recording clock here so recovery paths never real-sleep.
+	Sleep func(time.Duration)
+	// Stats, when non-nil, accumulates the read counters.
+	Stats *Stats
+}
+
+func (t Transport) channel() Channel {
+	if t.Channel == nil {
+		return Clean{}
+	}
+	return t.Channel
+}
+
+func (t Transport) sleep(d time.Duration) {
+	if t.Sleep != nil {
+		t.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Send pushes b across the channel and returns what landed in host
+// memory (send-side faults are persistent: the returned bytes are the
+// only copy).
+func (t Transport) Send(b []byte) []byte {
+	return t.channel().Send(b)
+}
+
+// Read pulls the host copy b back through the channel and validates the
+// frame, applying the retry schedule. A nil transfer is reported as
+// ErrDropped (and counted separately from corruption); any other
+// validation failure carries the typed frame error. The returned frame
+// aliases the received bytes.
+func (t Transport) Read(b []byte) (*frame.Frame, error) {
+	backoff := t.Backoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		var f *frame.Frame
+		got := t.channel().Recv(b)
+		if got == nil {
+			err = fmt.Errorf("%w (%d-byte host copy)", ErrDropped, len(b))
+			if t.Stats != nil {
+				t.Stats.Dropped.Add(1)
+			}
+		} else {
+			f, err = frame.DecodeFrame(got)
+		}
+		if err == nil {
+			if t.Stats != nil {
+				t.Stats.BytesVerified.Add(int64(len(got)))
+			}
+			return f, nil
+		}
+		if t.Stats != nil {
+			t.Stats.Corrupted.Add(1)
+		}
+		if attempt >= t.Retries {
+			return nil, err
+		}
+		if t.Stats != nil {
+			t.Stats.Retried.Add(1)
+		}
+		if backoff > 0 {
+			t.sleep(backoff)
+			backoff *= 2
+		}
+	}
+}

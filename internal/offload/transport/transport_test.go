@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"jpegact/internal/frame"
+	"jpegact/internal/tensor"
+)
+
+func testFrame(t *testing.T) []byte {
+	t.Helper()
+	f := &frame.Frame{
+		Codec:   frame.CodecZVC,
+		Shape:   tensor.Shape{N: 1, C: 1, H: 2, W: 2},
+		Scales:  []float32{1},
+		Payload: []byte{1, 2, 3, 4},
+	}
+	return frame.EncodeFrame(f)
+}
+
+func TestCleanRead(t *testing.T) {
+	buf := testFrame(t)
+	var st Stats
+	tr := Transport{Stats: &st}
+	f, err := tr.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Codec != frame.CodecZVC || len(f.Payload) != 4 {
+		t.Fatalf("frame %+v", f)
+	}
+	if st.BytesVerified.Load() != int64(len(buf)) || st.Corrupted.Load() != 0 {
+		t.Fatalf("stats %+v", st.Snapshot())
+	}
+}
+
+// dropN returns nil for the first n Recvs, then passes through.
+type dropN struct{ n int }
+
+func (c *dropN) Send(b []byte) []byte { return b }
+func (c *dropN) Recv(b []byte) []byte {
+	if c.n > 0 {
+		c.n--
+		return nil
+	}
+	return b
+}
+
+func TestDroppedTransferIsTyped(t *testing.T) {
+	buf := testFrame(t)
+	var st Stats
+	tr := Transport{Channel: &dropN{n: 1}, Stats: &st}
+	_, err := tr.Read(buf)
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("want ErrDropped, got %v", err)
+	}
+	if errors.Is(err, frame.ErrTruncated) {
+		t.Fatal("a drop must not fold into the truncation path")
+	}
+	s := st.Snapshot()
+	if s.Dropped != 1 || s.Corrupted != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDropRecoveredByRetry(t *testing.T) {
+	buf := testFrame(t)
+	var st Stats
+	tr := Transport{Channel: &dropN{n: 2}, Retries: 3, Stats: &st}
+	if _, err := tr.Read(buf); err != nil {
+		t.Fatalf("retry should absorb transient drops: %v", err)
+	}
+	s := st.Snapshot()
+	if s.Dropped != 2 || s.Retried != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// truncate cuts every Recv to a prefix.
+type truncate struct{}
+
+func (truncate) Send(b []byte) []byte { return b }
+func (truncate) Recv(b []byte) []byte { return b[:len(b)/2] }
+
+func TestRetryExhaustionKeepsTypedError(t *testing.T) {
+	buf := testFrame(t)
+	var st Stats
+	tr := Transport{Channel: truncate{}, Retries: 2, Stats: &st}
+	_, err := tr.Read(buf)
+	if !errors.Is(err, frame.ErrTruncated) && !errors.Is(err, frame.ErrChecksum) {
+		t.Fatalf("want truncation/checksum, got %v", err)
+	}
+	s := st.Snapshot()
+	if s.Corrupted != 3 || s.Retried != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestInjectedSleepSeesBackoffSchedule(t *testing.T) {
+	buf := testFrame(t)
+	var slept []time.Duration
+	tr := Transport{
+		Channel: truncate{},
+		Retries: 3,
+		Backoff: 40 * time.Millisecond,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	start := time.Now()
+	if _, err := tr.Read(buf); err == nil {
+		t.Fatal("persistent truncation must fail")
+	}
+	// The schedule is seen by the injected clock, not by the wall clock.
+	if elapsed := time.Since(start); elapsed > 30*time.Millisecond {
+		t.Fatalf("retry path real-slept %v despite injected clock", elapsed)
+	}
+	want := []time.Duration{40 * time.Millisecond, 80 * time.Millisecond, 160 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", slept, want)
+		}
+	}
+}

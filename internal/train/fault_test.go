@@ -171,4 +171,7 @@ func TestOffloadedTrainingDropRecovery(t *testing.T) {
 	if stats.Corrupted == 0 || stats.Recomputed == 0 {
 		t.Fatalf("drop faults not exercised: %+v (injector %+v)", stats, inj.Stats())
 	}
+	if stats.Dropped == 0 || stats.Dropped > stats.Corrupted {
+		t.Fatalf("drops not counted distinctly: %+v", stats)
+	}
 }

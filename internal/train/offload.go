@@ -10,6 +10,14 @@ package train
 // activation guaranteed intact — exactly as gradient checkpointing
 // would, after rewinding BatchNorm/Dropout side effects so the replay
 // is bit-identical.
+//
+// With Async set, the offload engine overlaps the traffic with compute:
+// save hooks stream each activation to the encode pool the moment the
+// forward pass is done with it, frames are committed to the channel in
+// submission order (so fault patterns match the sync path), and the
+// backward pass consumes restores staged by a reverse-order prefetcher.
+// Sync mode is the degenerate case of the same engine; both paths
+// produce bit-identical training trajectories.
 
 import (
 	"fmt"
@@ -40,8 +48,38 @@ type OffloadOptions struct {
 	// MaxRecompute caps whole-step forward replays per batch under
 	// PolicyRecompute (default 4); beyond it the step fails.
 	MaxRecompute int
+	// Async enables the pipelined engine: activations stream to the
+	// host as the forward pass produces them and restores are
+	// prefetched during backward. The trajectory is bit-identical to
+	// sync mode.
+	Async bool
+	// Prefetch is the backward restore lookahead in async mode:
+	// 0 = default (4), negative = strictly on-demand. The staged
+	// objects are verified compressed frames, so a window a little
+	// deeper than a residual block's burst of refs costs almost
+	// nothing and keeps the channel busy through the bursts.
+	Prefetch int
+	// InFlightBytes bounds the encoded-but-uncommitted bytes held by
+	// the async encode workers (0 = unlimited).
+	InFlightBytes int
 	// Verbose prints per-epoch fault counters from the training loop.
 	Verbose bool
+}
+
+// engineConfig maps the options onto the scheduler layer.
+func (oc OffloadOptions) engineConfig() offload.EngineConfig {
+	prefetch := oc.Prefetch
+	switch {
+	case prefetch == 0:
+		prefetch = 4
+	case prefetch < 0:
+		prefetch = 0
+	}
+	return offload.EngineConfig{
+		Async:         oc.Async,
+		Prefetch:      prefetch,
+		InFlightBytes: oc.InFlightBytes,
+	}
 }
 
 // ClassifierOffloaded trains a classification model with real host-memory
@@ -56,6 +94,9 @@ func ClassifierOffloaded(m *models.Model, ds *data.Classification, cfg Config, o
 		oc.MaxRecompute = 4
 	}
 	rep := Report{ModelName: m.Name, MethodName: "JPEG-ACT/offload(" + oc.Policy.String() + ")"}
+	if oc.Async {
+		rep.MethodName = "JPEG-ACT/offload-async(" + oc.Policy.String() + ")"
+	}
 	opt := cfg.newOptimizer()
 
 	store := offload.NewStore(oc.DQT)
@@ -65,6 +106,8 @@ func ClassifierOffloaded(m *models.Model, ds *data.Classification, cfg Config, o
 		MaxRetries: oc.MaxRetries,
 		Backoff:    oc.Backoff,
 	}
+	eng := offload.NewEngine(store, oc.engineConfig())
+	defer eng.Close()
 
 	valX, valY := ds.Batch(cfg.BatchSize * 8)
 
@@ -74,16 +117,16 @@ func ClassifierOffloaded(m *models.Model, ds *data.Classification, cfg Config, o
 		var origSum, compSum int
 		for b := 0; b < cfg.BatchesPerEpoch; b++ {
 			x, labels := ds.Batch(cfg.BatchSize)
-			loss, o, c, err := offloadedStep(m, store, x, labels, oc.MaxRecompute)
+			loss, o, c, err := offloadedStep(m, eng, x, labels, oc.MaxRecompute)
 			if err != nil {
-				return rep, store.Stats, err
+				return rep, store.Stats(), err
 			}
 			epochLoss += loss
 			origSum += o
 			compSum += c
 			if math.IsNaN(loss) || math.IsInf(loss, 0) {
 				rep.Diverged = true
-				return rep, store.Stats, nil
+				return rep, store.Stats(), nil
 			}
 			opt.Step(m.Net.Params())
 		}
@@ -96,7 +139,7 @@ func ClassifierOffloaded(m *models.Model, ds *data.Classification, cfg Config, o
 		if nn.NaNGuard(valOut.T) {
 			rep.Diverged = true
 			rep.Epochs = append(rep.Epochs, stats)
-			return rep, store.Stats, nil
+			return rep, store.Stats(), nil
 		}
 		rep.Epochs = append(rep.Epochs, stats)
 		if stats.Score > rep.BestScore {
@@ -104,24 +147,37 @@ func ClassifierOffloaded(m *models.Model, ds *data.Classification, cfg Config, o
 		}
 		rep.FinalRatio = stats.CompressionRatio
 		if oc.Verbose {
-			s := store.Stats
-			fmt.Printf("epoch %d: offloaded=%d restored=%d corrupted=%d retried=%d recomputed=%d verified=%dB\n",
-				epoch, s.Offloaded, s.Restored, s.Corrupted, s.Retried, s.Recomputed, s.BytesVerified)
+			s := store.Stats()
+			fmt.Printf("epoch %d: offloaded=%d restored=%d corrupted=%d retried=%d recomputed=%d dropped=%d verified=%dB\n",
+				epoch, s.Offloaded, s.Restored, s.Corrupted, s.Retried, s.Recomputed, s.Dropped, s.BytesVerified)
 		}
 	}
-	return rep, store.Stats, nil
+	return rep, store.Stats(), nil
 }
 
+// restoreAbort carries a restore failure out of the backward pass; the
+// hook has no error return, so the step unwinds via panic/recover.
+type restoreAbort struct{ err error }
+
 // offloadedStep runs one training batch through the real offload path:
-// forward → offload all saved refs over the channel → restore them in
-// reverse-offload order (recovering per policy) → backward.
-func offloadedStep(m *models.Model, store *offload.Store, x *tensor.Tensor, labels []int, maxRecompute int) (loss float64, orig, comp int, err error) {
+// forward (streaming saved refs to the engine in async mode) → barrier
+// on the offload traffic → backward, restoring activations on demand or
+// ahead of it via the prefetcher.
+func offloadedStep(m *models.Model, eng *offload.Engine, x *tensor.Tensor, labels []int, maxRecompute int) (loss float64, orig, comp int, err error) {
+	store := eng.Store()
 	// Snapshot forward side effects (BN running stats, dropout RNG)
 	// before the pass, so a corruption-triggered replay is bit-exact.
 	pre := nn.CaptureNetState(m.Net)
+	eng.BeginStep()
+
+	if eng.Async() {
+		nn.SetHooks(m.Net, &nn.Hooks{OnSave: eng.Offload})
+		defer nn.SetHooks(m.Net, nil)
+	}
 
 	out := m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: x}, true)
-	loss, grad := nn.SoftmaxCrossEntropy(out.T, labels)
+	var grad *tensor.Tensor
+	loss, grad = nn.SoftmaxCrossEntropy(out.T, labels)
 
 	recomputes := 0
 	if store.Recovery.Policy == offload.PolicyRecompute {
@@ -133,6 +189,10 @@ func offloadedStep(m *models.Model, store *offload.Store, x *tensor.Tensor, labe
 			// Rewind side effects and replay the forward pass from the
 			// batch input; the replay re-applies them identically, so
 			// the network state after the replay matches post-forward.
+			// Hooks stay detached: the rebuilt step offloads and
+			// restores synchronously (the engine has already stopped
+			// its prefetcher before escalating here).
+			nn.SetHooks(m.Net, nil)
 			nn.RestoreNetState(m.Net, pre)
 			m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: x}, true)
 			// Discard the stale step and re-offload the fresh refs —
@@ -145,16 +205,52 @@ func offloadedStep(m *models.Model, store *offload.Store, x *tensor.Tensor, labe
 		defer func() { store.Recovery.Recompute = nil }()
 	}
 
-	orig, comp, err = store.OffloadAll(m.Net.SavedRefs())
+	// Sweep whatever the streaming hooks had to hold back (the batch
+	// input, frontier-adjacent refs), then barrier until every frame has
+	// been committed to the channel.
+	orig, comp, err = eng.EndForward(m.Net.SavedRefs())
 	if err != nil {
+		eng.Abort()
 		return loss, orig, comp, err
 	}
-	// RestoreAll walks resident entries in reverse-offload order and
-	// survives a mid-sweep recompute rebuild.
-	if err := store.RestoreAll(); err != nil {
+	// Sync mode restores everything here (the degenerate case); async
+	// mode starts the reverse-offload-order prefetcher.
+	if err := eng.PrepareBackward(); err != nil {
+		eng.Abort()
 		return loss, orig, comp, err
 	}
 
-	m.Net.Backward(grad)
+	if eng.Async() {
+		nn.SetHooks(m.Net, &nn.Hooks{OnNeed: func(ref *nn.ActRef) {
+			if rerr := eng.Restore(ref); rerr != nil {
+				panic(restoreAbort{rerr})
+			}
+		}})
+		if err := runBackward(m, grad); err != nil {
+			eng.Abort()
+			return loss, orig, comp, err
+		}
+	} else {
+		m.Net.Backward(grad)
+	}
+	if err := eng.EndStep(); err != nil {
+		return loss, orig, comp, err
+	}
 	return loss, orig, comp, nil
+}
+
+// runBackward runs the backward pass, converting a restoreAbort panic
+// from the OnNeed hook back into an error.
+func runBackward(m *models.Model, grad *tensor.Tensor) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ra, ok := r.(restoreAbort)
+			if !ok {
+				panic(r)
+			}
+			err = ra.err
+		}
+	}()
+	m.Net.Backward(grad)
+	return nil
 }

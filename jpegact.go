@@ -35,6 +35,7 @@ import (
 	"jpegact/internal/frame"
 	"jpegact/internal/gpusim"
 	"jpegact/internal/models"
+	"jpegact/internal/nn"
 	"jpegact/internal/offload"
 	"jpegact/internal/parallel"
 	"jpegact/internal/quant"
@@ -241,6 +242,39 @@ var (
 	ErrFrameBadMagic  = frame.ErrBadMagic
 	ErrFrameVersion   = frame.ErrVersion
 )
+
+// ErrOffloadDropped is the typed error for a transfer that yielded no
+// bytes at all (a lost DMA), distinct from truncation or corruption;
+// match with errors.Is.
+var ErrOffloadDropped = offload.ErrDropped
+
+// OffloadEngine is the async scheduler layer over an OffloadStore: it
+// pipelines compression and channel transfers against compute, commits
+// frames in submission order (deterministic fault patterns) and
+// prefetches restores in reverse-offload order.
+type OffloadEngine = offload.Engine
+
+// OffloadEngineConfig configures the scheduler (async on/off, encode
+// workers, restore lookahead, in-flight byte budget).
+type OffloadEngineConfig = offload.EngineConfig
+
+// OffloadEngineStats counts scheduler-level events (prefetch hits/waits,
+// in-flight high-water mark).
+type OffloadEngineStats = offload.EngineStats
+
+// NewOffloadEngine wraps a store in a scheduler.
+func NewOffloadEngine(s *OffloadStore, cfg OffloadEngineConfig) *OffloadEngine {
+	return offload.NewEngine(s, cfg)
+}
+
+// ActivationHooks connect a network to an offload scheduler: OnSave
+// fires when a saved activation becomes emission-safe during forward,
+// OnNeed just before backward reads it.
+type ActivationHooks = nn.Hooks
+
+// SetActivationHooks installs hooks on every container of a bundled
+// model's network (nil detaches).
+func SetActivationHooks(l nn.Layer, h *ActivationHooks) { nn.SetHooks(l, h) }
 
 // FaultConfig configures a deterministic channel fault injector.
 type FaultConfig = faults.Config

@@ -20,3 +20,10 @@ go test -run '^$' -benchtime=20x -benchmem \
 
 echo "wrote $out (GOMAXPROCS=$(go env GOMAXPROCS 2>/dev/null || echo "$(nproc)") cores=$(nproc))"
 echo "merge before/after into BENCH_parallel.json by hand or rerun the recording step"
+
+# Offload pipeline: sync vs async step wall-clock over the simulated DMA
+# channel. The command exits non-zero if the async trajectory diverges
+# from sync, so a regression in bit-exactness fails the bench run too.
+go run ./cmd/offloadbench > BENCH_offload.json
+echo "wrote BENCH_offload.json:"
+grep -E 'speedup|trajectory' BENCH_offload.json
