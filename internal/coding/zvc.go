@@ -116,28 +116,39 @@ func countNonzero(vals []int8) int {
 const zvcBlockGrain = 64
 
 // encodeZVCInto encodes vals into dst, which must have room for exactly
-// the encoded size, and returns the bytes written.
+// the encoded size, and returns the bytes written. Mask and payload for a
+// group are produced in one pass: payload bytes land past the reserved
+// mask slot as they are found, then the mask is patched in.
 func encodeZVCInto(dst []byte, vals []int8) int {
 	p := 0
-	for i := 0; i < len(vals); i += 8 {
-		end := i + 8
-		if end > len(vals) {
-			end = len(vals)
-		}
-		var mask byte
-		for j := i; j < end; j++ {
-			if vals[j] != 0 {
-				mask |= 1 << uint(j-i)
-			}
-		}
-		dst[p] = mask
+	n := len(vals)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		g := vals[i : i+8 : i+8]
+		mp := p
 		p++
-		for j := i; j < end; j++ {
-			if vals[j] != 0 {
-				dst[p] = byte(vals[j])
+		var mask byte
+		for j, v := range g {
+			if v != 0 {
+				mask |= 1 << uint(j)
+				dst[p] = byte(v)
 				p++
 			}
 		}
+		dst[mp] = mask
+	}
+	if i < n {
+		mp := p
+		p++
+		var mask byte
+		for j, v := range vals[i:] {
+			if v != 0 {
+				mask |= 1 << uint(j)
+				dst[p] = byte(v)
+				p++
+			}
+		}
+		dst[mp] = mask
 	}
 	return p
 }
@@ -179,9 +190,23 @@ func decodeZVCBlocksRange(dst [][64]int8, lo, hi, p int, data []byte) error {
 			}
 			mask := data[p]
 			p++
+			// All-zero and all-dense groups dominate real streams (zeroed
+			// high frequencies, dense DC neighborhoods); both skip the
+			// per-bit walk.
+			if mask == 0 {
+				continue
+			}
 			nz := bits.OnesCount8(mask)
 			if p+nz > len(data) {
 				return ErrCorrupt
+			}
+			if mask == 0xFF {
+				src := data[p : p+8 : p+8]
+				for j, b := range src {
+					blk[g+j] = int8(b)
+				}
+				p += 8
+				continue
 			}
 			for j := 0; j < 8; j++ {
 				if mask&(1<<uint(j)) != 0 {

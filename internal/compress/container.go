@@ -43,6 +43,7 @@ func (p *Pipeline) WriteTensor(w io.Writer, x *tensor.Tensor) (int, error) {
 	} else {
 		payload = coding.EncodeJPEGBlocks(blocks)
 	}
+	ReleaseBlocks(blocks)
 	_ = info // reconstructable from the shape
 
 	if _, err := w.Write(containerMagic[:]); err != nil {

@@ -41,11 +41,32 @@ func JPEGAct(d quant.DQT) Pipeline {
 // float ops, so 16 blocks amortize the goroutine handoff.
 const blockGrain = 16
 
+// fusedKernels selects the fused per-block path (gather from the int8
+// code plane → AAN → folded quantize, no padded plane). The padded-plane
+// fallback is kept as the unfused reference; equivalence tests flip this
+// to pin both paths bit-identical.
+var fusedKernels = true
+
 // QuantizeBlocks runs the pipeline through quantization, returning the
 // quantized 8×8 blocks, the SFPR scales, and the pad info needed to
-// reconstruct. Exposed for the DQT optimizer and entropy analyses.
+// reconstruct. Exposed for the DQT optimizer and entropy analyses. The
+// returned block slice comes from the internal scratch pool; callers
+// that are done with it can hand it back with ReleaseBlocks to spare
+// the next call the allocation (holding on to it is also fine — the
+// pool simply refills).
 func (p *Pipeline) QuantizeBlocks(x *tensor.Tensor) ([][64]int8, []float32, tensor.PadInfo) {
-	return p.quantizeBlocks(x, nil)
+	info := tensor.BlockPadInfo(x.Shape, dct.BlockSize)
+	blkP := getBlocks(info.PaddedElems() / 64)
+	return p.quantizeBlocks(x, *blkP)
+}
+
+// ReleaseBlocks returns a block slice obtained from QuantizeBlocks to
+// the scratch pool. The caller must not touch blocks afterwards.
+func ReleaseBlocks(blocks [][64]int8) {
+	if blocks == nil {
+		return
+	}
+	putBlocks(&blocks)
 }
 
 // quantizeBlocks is QuantizeBlocks with an optional caller-provided
@@ -55,6 +76,12 @@ func (p *Pipeline) QuantizeBlocks(x *tensor.Tensor) ([][64]int8, []float32, tens
 // round-robin — and every block is produced by exactly one worker with
 // the serial per-block op order, so the output is bit-identical at any
 // worker count.
+//
+// Each block runs the fused CDU-style kernel: gather the 8×8 tile
+// straight from the int8 SFPR codes (zero-filling the pad fringe),
+// scaled float32 AAN forward DCT, quantize with the descale factors
+// folded into the table. No padded plane is materialized and no
+// separate quantization pass runs.
 func (p *Pipeline) quantizeBlocks(x *tensor.Tensor, blocks [][64]int8) ([][64]int8, []float32, tensor.PadInfo) {
 	info := tensor.BlockPadInfo(x.Shape, dct.BlockSize)
 	scales := make([]float32, x.Shape.C)
@@ -63,16 +90,54 @@ func (p *Pipeline) quantizeBlocks(x *tensor.Tensor, blocks [][64]int8) ([][64]in
 	vals := *valsP
 	sfpr.QuantizeInto(x, scales, vals)
 
-	// Spread the int8 codes onto the padded (NCH)×W plane. The pooled
-	// buffer comes back dirty, so zero it first when padding exists.
-	cols := info.BlockCols
+	bw := info.BlockCols / 8
+	nb := (info.BlockRows / 8) * bw
+	if cap(blocks) >= nb {
+		blocks = blocks[:nb]
+	} else {
+		blocks = make([][64]int8, nb)
+	}
+	if !fusedKernels {
+		p.quantizeBlocksPadded(vals, blocks, info)
+		putI8(valsP)
+		return blocks, scales, info
+	}
+	table := p.foldedForward()
 	rows := x.Shape.N * x.Shape.C * x.Shape.H
 	w := x.Shape.W
+	parallel.For(nb, blockGrain, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			fusedQuantizeBlock(vals, rows, w, bi/bw, bi%bw, &table, &blocks[bi])
+		}
+	})
+	putI8(valsP)
+	return blocks, scales, info
+}
+
+// quantizeBlocksPadded is the unfused fallback: spread the codes onto a
+// pooled padded (NCH)×W float plane, then run the same AAN+folded block
+// kernel from the plane. The pooled buffer comes back dirty, but only
+// the pad fringe (right pad columns + bottom pad rows) is not
+// overwritten by the spread, so only the fringe is cleared.
+func (p *Pipeline) quantizeBlocksPadded(vals []int8, blocks [][64]int8, info tensor.PadInfo) {
+	cols := info.BlockCols
+	sh := info.Orig
+	rows := sh.N * sh.C * sh.H
+	w := sh.W
 	paddedP := getF32(info.PaddedElems())
 	padded := *paddedP
-	if info.PadRows != 0 || info.PadCols != 0 {
-		for i := range padded {
-			padded[i] = 0
+	if info.PadCols != 0 {
+		for r := 0; r < rows; r++ {
+			fringe := padded[r*cols+w : (r+1)*cols]
+			for j := range fringe {
+				fringe[j] = 0
+			}
+		}
+	}
+	if info.PadRows != 0 {
+		tail := padded[rows*cols:]
+		for i := range tail {
+			tail[i] = 0
 		}
 	}
 	parallel.For(rows, parallel.Grain(w, 4096), func(lo, hi int) {
@@ -86,60 +151,75 @@ func (p *Pipeline) quantizeBlocks(x *tensor.Tensor, blocks [][64]int8) ([][64]in
 	})
 
 	bw := cols / 8
-	nb := (info.BlockRows / 8) * bw
-	if cap(blocks) >= nb {
-		blocks = blocks[:nb]
-	} else {
-		blocks = make([][64]int8, nb)
-	}
-	logs := p.DQT.ShiftLogs() // hoisted out of the block loop
-	parallel.For(nb, blockGrain, func(lo, hi int) {
+	table := p.foldedForward()
+	parallel.For(len(blocks), blockGrain, func(lo, hi int) {
 		var blk dct.Block
-		var coef [64]float32
 		for bi := lo; bi < hi; bi++ {
 			by, bx := bi/bw, bi%bw
 			for r := 0; r < 8; r++ {
 				src := padded[(by*8+r)*cols+bx*8:]
 				copy(blk[r*8:(r+1)*8], src[:8])
 			}
-			dct.Forward8x8(&blk)
-			copy(coef[:], blk[:])
-			if p.UseShift {
-				quant.ShiftQuantizeFloatLogs(&coef, &logs, &blocks[bi])
-			} else {
-				quant.DivQuantize(&coef, &p.DQT, &blocks[bi])
-			}
+			dct.AANForward8x8(&blk)
+			quant.FoldedQuantize((*[64]float32)(&blk), &table, &blocks[bi])
 		}
 	})
 	putF32(paddedP)
-	putI8(valsP)
-	return blocks, scales, info
 }
 
 // ReconstructBlocks inverts QuantizeBlocks: dequantize, inverse DCT,
 // clip back to the int8 SFPR code range, undo padding and SFPR scaling.
-// Blocks shard over the worker pool exactly as in quantizeBlocks.
+// Blocks shard over the worker pool exactly as in quantizeBlocks, and
+// each block runs fused: folded dequantize → scaled AAN inverse DCT →
+// clamp → scatter into the output tensor (pad fringe dropped), so the
+// padded plane and the separate unpad+descale pass are gone.
 func (p *Pipeline) ReconstructBlocks(blocks [][64]int8, scales []float32, info tensor.PadInfo) *tensor.Tensor {
+	sh := info.Orig
+	out := tensor.New(sh.N, sh.C, sh.H, sh.W)
+	table := p.foldedInverse()
+
+	// Per-plane inverse SFPR scales, hoisted out of the block loop
+	// (blocks cross channel boundaries whenever H is not a multiple of 8).
+	invP := getF32(sh.N * sh.C)
+	invScales := *invP
+	for nc := range invScales {
+		if sc := scales[nc%sh.C]; sc != 0 {
+			invScales[nc] = 1 / (sc * 128)
+		} else {
+			invScales[nc] = 0
+		}
+	}
+
+	if !fusedKernels {
+		p.reconstructBlocksPadded(blocks, invScales, info, out)
+		putF32(invP)
+		return out
+	}
+	bw := info.BlockCols / 8
+	parallel.For(len(blocks), blockGrain, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			fusedReconstructBlock(&blocks[bi], &table, bi/bw, bi%bw, sh, invScales, out.Data)
+		}
+	})
+	putF32(invP)
+	return out
+}
+
+// reconstructBlocksPadded is the unfused fallback mirroring
+// quantizeBlocksPadded: blocks land on a pooled padded plane (fully
+// overwritten — no zeroing needed), then a separate pass strips the
+// padding and applies the inverse SFPR scale.
+func (p *Pipeline) reconstructBlocksPadded(blocks [][64]int8, invScales []float32, info tensor.PadInfo, out *tensor.Tensor) {
 	cols := info.BlockCols
-	// Every padded element belongs to exactly one block, so the pooled
-	// plane is fully overwritten — no zeroing needed.
 	paddedP := getF32(info.PaddedElems())
 	padded := *paddedP
 	bw := cols / 8
-	nb := (info.BlockRows / 8) * bw
-	logs := p.DQT.ShiftLogs()
-	parallel.For(nb, blockGrain, func(lo, hi int) {
+	table := p.foldedInverse()
+	parallel.For(len(blocks), blockGrain, func(lo, hi int) {
 		var blk dct.Block
-		var coef [64]float32
 		for bi := lo; bi < hi; bi++ {
-			q := &blocks[bi]
-			if p.UseShift {
-				quant.ShiftDequantizeFloatLogs(q, &logs, &coef)
-			} else {
-				quant.DivDequantize(q, &p.DQT, &coef)
-			}
-			copy(blk[:], coef[:])
-			dct.Inverse8x8(&blk)
+			quant.FoldedDequantize(&blocks[bi], &table, (*[64]float32)(&blk))
+			dct.AANInverse8x8(&blk)
 			by, bx := bi/bw, bi%bw
 			for r := 0; r < 8; r++ {
 				dst := padded[(by*8+r)*cols+bx*8:]
@@ -150,18 +230,11 @@ func (p *Pipeline) ReconstructBlocks(blocks [][64]int8, scales []float32, info t
 		}
 	})
 
-	// Strip padding and undo the SFPR scaling in one parallel pass
-	// (clampCode already produced exact int8-range integers, so the
-	// previous float→int8→float bounce is a no-op we skip).
 	sh := info.Orig
 	hw := sh.H * sh.W
-	out := tensor.New(sh.N, sh.C, sh.H, sh.W)
 	parallel.For(sh.N*sh.C, parallel.Grain(hw, 4096), func(lo, hi int) {
 		for nc := lo; nc < hi; nc++ {
-			var inv float32
-			if sc := scales[nc%sh.C]; sc != 0 {
-				inv = 1 / (sc * 128)
-			}
+			inv := invScales[nc]
 			for row := 0; row < sh.H; row++ {
 				src := padded[(nc*sh.H+row)*cols:]
 				dst := out.Data[nc*hw+row*sh.W:][:sh.W]
@@ -172,7 +245,6 @@ func (p *Pipeline) ReconstructBlocks(blocks [][64]int8, scales []float32, info t
 		}
 	})
 	putF32(paddedP)
-	return out
 }
 
 func clampCode(v float32) float32 {

@@ -1,0 +1,315 @@
+package dct
+
+// AAN (Arai–Agui–Nakajima) scaled 8-point DCT, the algorithm behind
+// libjpeg's fast float DCT (jfdctflt/jidctflt). One 1D pass costs 5
+// multiplies and 29 adds versus 11 multiplies for the LLM structure in
+// dct.go, because the AAN factorization leaves a diagonal scale matrix
+// unapplied: the raw forward output is
+//
+//	A[k] = S[k] · 2√2 · aan[k]          (1D)
+//	A2D[i] = S2D[i] · 8 · aan[r] · aan[c]  (2D, i = 8r+c)
+//
+// where S is the JPEG-normalized DCT of dct.go and aan[k] are the AAN
+// scale factors below. A JPEG codec never pays for the missing scales:
+// they fold into the quantizer tables (quant.FoldedForward /
+// quant.FoldedInverse), exactly as libjpeg folds them into fdtbl/dtbl.
+// The compression pipeline therefore runs the scaled float32 kernels
+// here and quantizes with pre-folded tables, replacing an 11-multiply
+// float64 transform plus a divide per coefficient with a 5-multiply
+// float32 transform plus a single multiply per coefficient.
+//
+// Float64 variants of the 1D kernels are kept as the algorithmic
+// reference (tests pin them to Naive1D within float64 rounding).
+
+import "math"
+
+// aanFactors are the AAN per-frequency scale factors:
+// aan[0] = 1, aan[k] = cos(kπ/16)·√2 for k ≥ 1.
+var aanFactors = [8]float64{
+	1.0,
+	1.387039845322148,
+	1.306562964876377,
+	1.175875602419359,
+	1.0,
+	0.785694958387102,
+	0.541196100146197,
+	0.275899379282943,
+}
+
+var (
+	// AANDescale1D[k] is the factor that converts a raw 1D AAN forward
+	// output back to the JPEG normalization: S[k] = AAN1D out[k] · AANDescale1D[k].
+	AANDescale1D [8]float64
+	// AANPrescale1D[k] is the factor applied to JPEG-normalized
+	// coefficients before AANInverse1D.
+	AANPrescale1D [8]float64
+	// AANDescale2D[i] converts a raw 2D AAN forward coefficient (i = 8r+c)
+	// to the JPEG normalization; fold it (divided by the DQT entry) into
+	// the forward quantizer table.
+	AANDescale2D [64]float64
+	// AANPrescale2D[i] prepares a JPEG-normalized 2D coefficient for
+	// AANInverse8x8; fold it (times the DQT entry) into the dequantizer
+	// table.
+	AANPrescale2D [64]float64
+)
+
+func init() {
+	twoSqrt2 := 2 * math.Sqrt2
+	for k := 0; k < 8; k++ {
+		AANDescale1D[k] = 1 / (twoSqrt2 * aanFactors[k])
+		AANPrescale1D[k] = aanFactors[k] / twoSqrt2
+	}
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			AANDescale2D[r*8+c] = 1 / (8 * aanFactors[r] * aanFactors[c])
+			AANPrescale2D[r*8+c] = aanFactors[r] * aanFactors[c] / 8
+		}
+	}
+}
+
+// AAN rotation constants (float64 and float32 copies of the same values,
+// the jfdctflt/jidctflt constant set).
+const (
+	aan0_382683433 = 0.382683433
+	aan0_541196100 = 0.541196100
+	aan0_707106781 = 0.707106781
+	aan1_306562965 = 1.306562965
+	aan1_082392200 = 1.082392200
+	aan1_414213562 = 1.414213562
+	aan1_847759065 = 1.847759065
+	aan2_613125930 = 2.613125930
+)
+
+// AAN1D computes the scaled forward AAN DCT of in (5 multiplies).
+// Output k equals Naive1D output k times 2√2·aan[k]; multiply by
+// AANDescale1D to normalize.
+func AAN1D(in, out *[8]float64) {
+	tmp0 := in[0] + in[7]
+	tmp7 := in[0] - in[7]
+	tmp1 := in[1] + in[6]
+	tmp6 := in[1] - in[6]
+	tmp2 := in[2] + in[5]
+	tmp5 := in[2] - in[5]
+	tmp3 := in[3] + in[4]
+	tmp4 := in[3] - in[4]
+
+	// Even part.
+	tmp10 := tmp0 + tmp3
+	tmp13 := tmp0 - tmp3
+	tmp11 := tmp1 + tmp2
+	tmp12 := tmp1 - tmp2
+
+	out[0] = tmp10 + tmp11
+	out[4] = tmp10 - tmp11
+
+	z1 := (tmp12 + tmp13) * aan0_707106781
+	out[2] = tmp13 + z1
+	out[6] = tmp13 - z1
+
+	// Odd part.
+	tmp10 = tmp4 + tmp5
+	tmp11 = tmp5 + tmp6
+	tmp12 = tmp6 + tmp7
+
+	z5 := (tmp10 - tmp12) * aan0_382683433
+	z2 := aan0_541196100*tmp10 + z5
+	z4 := aan1_306562965*tmp12 + z5
+	z3 := tmp11 * aan0_707106781
+
+	z11 := tmp7 + z3
+	z13 := tmp7 - z3
+
+	out[5] = z13 + z2
+	out[3] = z13 - z2
+	out[1] = z11 + z4
+	out[7] = z11 - z4
+}
+
+// AANInverse1D computes the inverse AAN DCT of prescaled coefficients:
+// in[k] must be the JPEG-normalized coefficient times AANPrescale1D[k].
+// Output matches NaiveInverse1D of the unscaled coefficients.
+func AANInverse1D(in, out *[8]float64) {
+	// Even part.
+	tmp0 := in[0]
+	tmp1 := in[2]
+	tmp2 := in[4]
+	tmp3 := in[6]
+
+	tmp10 := tmp0 + tmp2
+	tmp11 := tmp0 - tmp2
+	tmp13 := tmp1 + tmp3
+	tmp12 := (tmp1-tmp3)*aan1_414213562 - tmp13
+
+	tmp0 = tmp10 + tmp13
+	tmp3 = tmp10 - tmp13
+	tmp1 = tmp11 + tmp12
+	tmp2 = tmp11 - tmp12
+
+	// Odd part.
+	tmp4 := in[1]
+	tmp5 := in[3]
+	tmp6 := in[5]
+	tmp7 := in[7]
+
+	z13 := tmp6 + tmp5
+	z10 := tmp6 - tmp5
+	z11 := tmp4 + tmp7
+	z12 := tmp4 - tmp7
+
+	tmp7 = z11 + z13
+	tmp11 = (z11 - z13) * aan1_414213562
+
+	z5 := (z10 + z12) * aan1_847759065
+	tmp10 = aan1_082392200*z12 - z5
+	tmp12 = -aan2_613125930*z10 + z5
+
+	tmp6 = tmp12 - tmp7
+	tmp5 = tmp11 - tmp6
+	tmp4 = tmp10 + tmp5
+
+	out[0] = tmp0 + tmp7
+	out[7] = tmp0 - tmp7
+	out[1] = tmp1 + tmp6
+	out[6] = tmp1 - tmp6
+	out[2] = tmp2 + tmp5
+	out[5] = tmp2 - tmp5
+	out[4] = tmp3 + tmp4
+	out[3] = tmp3 - tmp4
+}
+
+// aanForward8 is the float32 production copy of AAN1D. Specialized (not
+// generic over a function value) so the 2D drivers keep their scratch on
+// the stack — same reasoning as Forward8x8.
+func aanForward8(in, out *[8]float32) {
+	tmp0 := in[0] + in[7]
+	tmp7 := in[0] - in[7]
+	tmp1 := in[1] + in[6]
+	tmp6 := in[1] - in[6]
+	tmp2 := in[2] + in[5]
+	tmp5 := in[2] - in[5]
+	tmp3 := in[3] + in[4]
+	tmp4 := in[3] - in[4]
+
+	tmp10 := tmp0 + tmp3
+	tmp13 := tmp0 - tmp3
+	tmp11 := tmp1 + tmp2
+	tmp12 := tmp1 - tmp2
+
+	out[0] = tmp10 + tmp11
+	out[4] = tmp10 - tmp11
+
+	z1 := (tmp12 + tmp13) * float32(aan0_707106781)
+	out[2] = tmp13 + z1
+	out[6] = tmp13 - z1
+
+	tmp10 = tmp4 + tmp5
+	tmp11 = tmp5 + tmp6
+	tmp12 = tmp6 + tmp7
+
+	z5 := (tmp10 - tmp12) * float32(aan0_382683433)
+	z2 := float32(aan0_541196100)*tmp10 + z5
+	z4 := float32(aan1_306562965)*tmp12 + z5
+	z3 := tmp11 * float32(aan0_707106781)
+
+	z11 := tmp7 + z3
+	z13 := tmp7 - z3
+
+	out[5] = z13 + z2
+	out[3] = z13 - z2
+	out[1] = z11 + z4
+	out[7] = z11 - z4
+}
+
+func aanInverse8(in, out *[8]float32) {
+	tmp0 := in[0]
+	tmp1 := in[2]
+	tmp2 := in[4]
+	tmp3 := in[6]
+
+	tmp10 := tmp0 + tmp2
+	tmp11 := tmp0 - tmp2
+	tmp13 := tmp1 + tmp3
+	tmp12 := (tmp1-tmp3)*float32(aan1_414213562) - tmp13
+
+	tmp0 = tmp10 + tmp13
+	tmp3 = tmp10 - tmp13
+	tmp1 = tmp11 + tmp12
+	tmp2 = tmp11 - tmp12
+
+	tmp4 := in[1]
+	tmp5 := in[3]
+	tmp6 := in[5]
+	tmp7 := in[7]
+
+	z13 := tmp6 + tmp5
+	z10 := tmp6 - tmp5
+	z11 := tmp4 + tmp7
+	z12 := tmp4 - tmp7
+
+	tmp7 = z11 + z13
+	tmp11 = (z11 - z13) * float32(aan1_414213562)
+
+	z5 := (z10 + z12) * float32(aan1_847759065)
+	tmp10 = float32(aan1_082392200)*z12 - z5
+	tmp12 = -float32(aan2_613125930)*z10 + z5
+
+	tmp6 = tmp12 - tmp7
+	tmp5 = tmp11 - tmp6
+	tmp4 = tmp10 + tmp5
+
+	out[0] = tmp0 + tmp7
+	out[7] = tmp0 - tmp7
+	out[1] = tmp1 + tmp6
+	out[6] = tmp1 - tmp6
+	out[2] = tmp2 + tmp5
+	out[5] = tmp2 - tmp5
+	out[4] = tmp3 + tmp4
+	out[3] = tmp3 - tmp4
+}
+
+// AANForward8x8 applies the scaled 2D forward AAN DCT to b in place in
+// float32. Output coefficient i carries the extra factor
+// 1/AANDescale2D[i]; quantizers must use tables with the descale folded
+// in (quant.FoldedForward). Two-pass structure and concrete kernel calls
+// as in Forward8x8, so nothing escapes to the heap.
+func AANForward8x8(b *Block) {
+	var in, out [8]float32
+	var tmp [64]float32
+	for r := 0; r < 8; r++ {
+		copy(in[:], b[r*8:(r+1)*8])
+		aanForward8(&in, &out)
+		copy(tmp[r*8:], out[:])
+	}
+	for c := 0; c < 8; c++ {
+		for r := 0; r < 8; r++ {
+			in[r] = tmp[r*8+c]
+		}
+		aanForward8(&in, &out)
+		for r := 0; r < 8; r++ {
+			b[r*8+c] = out[r]
+		}
+	}
+}
+
+// AANInverse8x8 applies the 2D inverse AAN DCT to b in place in float32.
+// b must hold prescaled coefficients: JPEG-normalized values times
+// AANPrescale2D (folded into the dequantizer table by
+// quant.FoldedInverse). Output is the spatial block.
+func AANInverse8x8(b *Block) {
+	var in, out [8]float32
+	var tmp [64]float32
+	for r := 0; r < 8; r++ {
+		copy(in[:], b[r*8:(r+1)*8])
+		aanInverse8(&in, &out)
+		copy(tmp[r*8:], out[:])
+	}
+	for c := 0; c < 8; c++ {
+		for r := 0; r < 8; r++ {
+			in[r] = tmp[r*8+c]
+		}
+		aanInverse8(&in, &out)
+		for r := 0; r < 8; r++ {
+			b[r*8+c] = out[r]
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package dct
+
+import (
+	"math"
+	"testing"
+
+	"jpegact/internal/tensor"
+)
+
+// relErr is the mixed absolute/relative error tolerance helper used by
+// the AAN-vs-reference tests: the truncated libjpeg rotation constants
+// carry ~1e-8 relative error, so exact float64 equality is off the table
+// even for the float64 kernels.
+func relErr(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*math.Max(1, math.Abs(want))
+}
+
+func TestAANMatchesNaive1D(t *testing.T) {
+	r := tensor.NewRNG(20)
+	for trial := 0; trial < 200; trial++ {
+		in := randBlockF64(r, 128)
+		var want, raw [8]float64
+		Naive1D(&in, &want)
+		AAN1D(&in, &raw)
+		for k := 0; k < 8; k++ {
+			got := raw[k] * AANDescale1D[k]
+			if !relErr(got, want[k], 1e-6) {
+				t.Fatalf("trial %d coeff %d: naive %v aan %v", trial, k, want[k], got)
+			}
+		}
+	}
+}
+
+func TestAANInverseMatchesNaive1D(t *testing.T) {
+	r := tensor.NewRNG(21)
+	for trial := 0; trial < 200; trial++ {
+		in := randBlockF64(r, 128)
+		var want, pre, got [8]float64
+		NaiveInverse1D(&in, &want)
+		for k := 0; k < 8; k++ {
+			pre[k] = in[k] * AANPrescale1D[k]
+		}
+		AANInverse1D(&pre, &got)
+		for k := 0; k < 8; k++ {
+			if !relErr(got[k], want[k], 1e-6) {
+				t.Fatalf("trial %d sample %d: naive %v aan %v", trial, k, want[k], got[k])
+			}
+		}
+	}
+}
+
+func TestAANAndLLMWithinFloatTolOfNaive(t *testing.T) {
+	// The issue-level acceptance bound: both fast 1D structures stay
+	// within 1e-4 of the O(n²) reference on inputs spanning the full
+	// activation range.
+	r := tensor.NewRNG(22)
+	for trial := 0; trial < 500; trial++ {
+		in := randBlockF64(r, 500)
+		var want, llm, aan [8]float64
+		Naive1D(&in, &want)
+		LLM1D(&in, &llm)
+		AAN1D(&in, &aan)
+		for k := 0; k < 8; k++ {
+			if !relErr(llm[k], want[k], 1e-4) {
+				t.Fatalf("llm trial %d coeff %d: %v vs %v", trial, k, llm[k], want[k])
+			}
+			if !relErr(aan[k]*AANDescale1D[k], want[k], 1e-4) {
+				t.Fatalf("aan trial %d coeff %d: %v vs %v", trial, k, aan[k]*AANDescale1D[k], want[k])
+			}
+		}
+	}
+}
+
+func TestAAN2DMatchesLLM2D(t *testing.T) {
+	r := tensor.NewRNG(23)
+	var a, b Block
+	for i := range a {
+		v := float32(r.Norm() * 40)
+		a[i] = v
+		b[i] = v
+	}
+	Forward8x8(&a)
+	AANForward8x8(&b)
+	for i := range a {
+		got := float64(b[i]) * AANDescale2D[i]
+		if !relErr(got, float64(a[i]), 1e-4) {
+			t.Fatalf("2D mismatch at %d: llm %v aan %v", i, a[i], got)
+		}
+	}
+}
+
+func TestAAN2DRoundtrip(t *testing.T) {
+	// Forward, normalize via the descale factors, prescale, inverse —
+	// the exact dataflow of the folded quantizer tables minus the
+	// integer rounding — must reproduce the input.
+	r := tensor.NewRNG(24)
+	var b, orig Block
+	for i := range b {
+		b[i] = float32((r.Float64()*2 - 1) * 127)
+		orig[i] = b[i]
+	}
+	AANForward8x8(&b)
+	for i := range b {
+		b[i] = float32(float64(b[i]) * AANDescale2D[i] * AANPrescale2D[i])
+	}
+	AANInverse8x8(&b)
+	for i := range b {
+		if math.Abs(float64(b[i]-orig[i])) > 1e-2 {
+			t.Fatalf("roundtrip at %d: %v vs %v", i, b[i], orig[i])
+		}
+	}
+}
+
+func TestAANDCNormalization(t *testing.T) {
+	// Constant block of v: descaled DC must be 8v (JPEG 2D convention),
+	// descaled AC zero.
+	var b Block
+	for i := range b {
+		b[i] = 10
+	}
+	AANForward8x8(&b)
+	if got := float64(b[0]) * AANDescale2D[0]; math.Abs(got-80) > 1e-3 {
+		t.Fatalf("DC = %v, want 80", got)
+	}
+	for i := 1; i < 64; i++ {
+		if got := float64(b[i]) * AANDescale2D[i]; math.Abs(got) > 1e-3 {
+			t.Fatalf("AC[%d] = %v, want 0", i, got)
+		}
+	}
+}
+
+func TestAANScaleTablesConsistent(t *testing.T) {
+	for k := 0; k < 8; k++ {
+		if !relErr(AANDescale1D[k]*(2*math.Sqrt2*aanFactors[k]), 1, 1e-12) {
+			t.Fatalf("descale1d[%d] inconsistent", k)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		prod := AANDescale2D[i] * (8 * aanFactors[i/8] * aanFactors[i%8])
+		if !relErr(prod, 1, 1e-12) {
+			t.Fatalf("descale2d[%d] inconsistent", i)
+		}
+		// Descale = 1/(8f), Prescale = f/8 ⇒ their product is exactly 1/64.
+		if !relErr(AANDescale2D[i]*AANPrescale2D[i], 1.0/64, 1e-12) {
+			t.Fatalf("prescale2d[%d]·descale2d[%d] = %v, want 1/64", i, i, AANDescale2D[i]*AANPrescale2D[i])
+		}
+	}
+}
+
+func BenchmarkAANForward8x8(b *testing.B) {
+	r := tensor.NewRNG(25)
+	var blk Block
+	for i := range blk {
+		blk[i] = float32(r.Norm() * 30)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := blk
+		AANForward8x8(&t)
+	}
+}
+
+func BenchmarkAANInverse8x8(b *testing.B) {
+	r := tensor.NewRNG(26)
+	var blk Block
+	for i := range blk {
+		blk[i] = float32(r.Norm() * 30)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := blk
+		AANInverse8x8(&t)
+	}
+}

@@ -1,6 +1,8 @@
 package nn
 
 import (
+	"math"
+
 	"jpegact/internal/compress"
 	"jpegact/internal/tensor"
 )
@@ -36,10 +38,20 @@ func (r *ReLU) SavedRefs() []*ActRef {
 func (r *ReLU) Forward(in *ActRef, train bool) *ActRef {
 	x := in.T
 	out := tensor.NewLike(x)
+	dst := out.Data
+	// Branchless integer select: activations are ~half negative, so the
+	// naive `if v > 0` mispredicts constantly. `bits-1 < 0x7F800000`
+	// (unsigned) is exactly `v > 0` over every input class: +0 wraps to
+	// 0xFFFFFFFF (drop), negatives and -0 have the sign bit (drop), NaNs
+	// sit above 0x7F800000 after the decrement (drop, as NaN > 0 is
+	// false), positives through +Inf land below it (keep).
 	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
+		bits := math.Float32bits(v)
+		z := uint32(0)
+		if bits-1 < 0x7F800000 {
+			z = bits
 		}
+		dst[i] = math.Float32frombits(z)
 	}
 	// Provisional kind: a consuming conv upgrades this to KindReLUToConv.
 	ref := &ActRef{Name: r.LayerName + ".out", Kind: compress.KindReLUToOther, T: out}

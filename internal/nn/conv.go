@@ -25,6 +25,7 @@ type Conv2D struct {
 	in          *ActRef
 	outShape    tensor.Shape
 	colBuf      []float32
+	dcolBuf     []float32
 }
 
 // ConvOpts configures optional conv features.
@@ -149,7 +150,10 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		c.colBuf = make([]float32, k2*spatial)
 	}
 	cols := c.colBuf[:k2*spatial]
-	dcols := make([]float32, k2*spatial)
+	if cap(c.dcolBuf) < k2*spatial {
+		c.dcolBuf = make([]float32, k2*spatial)
+	}
+	dcols := c.dcolBuf[:k2*spatial]
 	for n := 0; n < x.Shape.N; n++ {
 		gout := grad.Data[n*c.OutC*spatial : (n+1)*c.OutC*spatial]
 		// ∇W += ∇y[n] · colsᵀ  (OutC×spatial · spatial×k2)
@@ -177,10 +181,36 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return dx
 }
 
+// colRange returns the half-open output range [lo, hi) whose input
+// coordinate ox·stride + k - pad falls inside [0, extent), clamped to
+// [0, out). Everything outside the range is pad.
+func colRange(out, extent, stride, k, pad int) (int, int) {
+	lo := 0
+	if k < pad {
+		lo = (pad - k + stride - 1) / stride
+	}
+	top := extent - 1 - k + pad
+	if top < 0 {
+		// Go's / truncates toward zero, so top/stride would round a
+		// negative numerator up to 0 — return an explicitly empty range.
+		return 0, 0
+	}
+	hi := top/stride + 1
+	if hi > out {
+		hi = out
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
 // im2col lowers batch element n of x into cols (k2 × ho*wo). Input
 // channels are distributed over the worker pool: channel ic fills the
 // contiguous cols slab [ic·K²·spatial, (ic+1)·K²·spatial), so workers
-// never share an output index.
+// never share an output index. The pad test is hoisted out of the inner
+// loop: per output row only the in-bounds ox range is gathered (a copy
+// for stride 1), the fringe is zero-filled.
 func (c *Conv2D) im2col(x *tensor.Tensor, n int, cols []float32) {
 	ho, wo := c.outDims(x.Shape)
 	h, w := x.Shape.H, x.Shape.W
@@ -191,17 +221,33 @@ func (c *Conv2D) im2col(x *tensor.Tensor, n int, cols []float32) {
 			chBase := (n*x.Shape.C + ic) * h * w
 			for ky := 0; ky < c.Kernel; ky++ {
 				for kx := 0; kx < c.Kernel; kx++ {
+					oxLo, oxHi := colRange(wo, w, c.Stride, kx, c.Pad)
 					for oy := 0; oy < ho; oy++ {
 						iy := oy*c.Stride + ky - c.Pad
-						rowOK := iy >= 0 && iy < h
-						for ox := 0; ox < wo; ox++ {
-							ix := ox*c.Stride + kx - c.Pad
-							if rowOK && ix >= 0 && ix < w {
-								cols[idx] = x.Data[chBase+iy*w+ix]
-							} else {
-								cols[idx] = 0
+						dst := cols[idx : idx+wo]
+						idx += wo
+						if iy < 0 || iy >= h {
+							for i := range dst {
+								dst[i] = 0
 							}
-							idx++
+							continue
+						}
+						for i := 0; i < oxLo; i++ {
+							dst[i] = 0
+						}
+						src := x.Data[chBase+iy*w:]
+						if c.Stride == 1 {
+							off := kx - c.Pad
+							copy(dst[oxLo:oxHi], src[oxLo+off:])
+						} else {
+							ix := oxLo*c.Stride + kx - c.Pad
+							for ox := oxLo; ox < oxHi; ox++ {
+								dst[ox] = src[ix]
+								ix += c.Stride
+							}
+						}
+						for i := oxHi; i < wo; i++ {
+							dst[i] = 0
 						}
 					}
 				}
@@ -213,7 +259,8 @@ func (c *Conv2D) im2col(x *tensor.Tensor, n int, cols []float32) {
 // col2im scatters dcols back into batch element n of dx (accumulating).
 // Parallel over input channels: channel ic only accumulates into its own
 // dx plane, and reads its own dcols slab, so ranges stay disjoint and
-// the per-element accumulation order matches the serial loop.
+// the per-element accumulation order matches the serial loop. Pad
+// handling is hoisted like im2col's; out-of-range columns are skipped.
 func (c *Conv2D) col2im(dcols []float32, dx *tensor.Tensor, n int) {
 	ho, wo := c.outDims(dx.Shape)
 	h, w := dx.Shape.H, dx.Shape.W
@@ -224,15 +271,26 @@ func (c *Conv2D) col2im(dcols []float32, dx *tensor.Tensor, n int) {
 			chBase := (n*dx.Shape.C + ic) * h * w
 			for ky := 0; ky < c.Kernel; ky++ {
 				for kx := 0; kx < c.Kernel; kx++ {
+					oxLo, oxHi := colRange(wo, w, c.Stride, kx, c.Pad)
 					for oy := 0; oy < ho; oy++ {
 						iy := oy*c.Stride + ky - c.Pad
-						rowOK := iy >= 0 && iy < h
-						for ox := 0; ox < wo; ox++ {
-							ix := ox*c.Stride + kx - c.Pad
-							if rowOK && ix >= 0 && ix < w {
-								dx.Data[chBase+iy*w+ix] += dcols[idx]
+						row := dcols[idx : idx+wo]
+						idx += wo
+						if iy < 0 || iy >= h {
+							continue
+						}
+						dst := dx.Data[chBase+iy*w:]
+						if c.Stride == 1 {
+							off := kx - c.Pad
+							for ox := oxLo; ox < oxHi; ox++ {
+								dst[ox+off] += row[ox]
 							}
-							idx++
+						} else {
+							ix := oxLo*c.Stride + kx - c.Pad
+							for ox := oxLo; ox < oxHi; ox++ {
+								dst[ix] += row[ox]
+								ix += c.Stride
+							}
 						}
 					}
 				}

@@ -60,3 +60,38 @@ func BenchmarkGemmTB(b *testing.B) {
 		GemmTB(benchM, benchK, benchN, a, bt, c)
 	}
 }
+
+// Saxpy reference benchmarks: the pre-packing kernels from gemm_ref.go
+// on the same shapes, so BENCH_kernels.json records a same-machine
+// before/after pair for the packed rewrite.
+
+func BenchmarkGemmSaxpyRef(b *testing.B) {
+	a, bb, c := gemmBenchOperands(b, benchM, benchK)
+	b.SetBytes(int64(4 * (benchM*benchK + benchK*benchN)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gemmSaxpy(benchM, benchK, benchN, a, bb, c)
+	}
+}
+
+func BenchmarkGemmTASaxpyRef(b *testing.B) {
+	a, bb, c := gemmBenchOperands(b, benchK, benchM)
+	b.SetBytes(int64(4 * (benchM*benchK + benchK*benchN)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gemmTASaxpy(benchM, benchK, benchN, a, bb, c)
+	}
+}
+
+func BenchmarkGemmTBSaxpyRef(b *testing.B) {
+	a, _, c := gemmBenchOperands(b, benchM, benchK)
+	bt := make([]float32, benchN*benchK)
+	for i := range bt {
+		bt[i] = float32(i%13) * 0.5
+	}
+	b.SetBytes(int64(4 * (benchM*benchK + benchK*benchN)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gemmTBSaxpy(benchM, benchK, benchN, a, bt, c)
+	}
+}

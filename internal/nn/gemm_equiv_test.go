@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"jpegact/internal/parallel"
+	"jpegact/internal/tensor"
+)
+
+// The packed register-tiled kernels must be bit-identical to the saxpy
+// references in gemm_ref.go — per C element both run the same ascending-k
+// float32 op sequence — at every worker count. Equality below is on the
+// float bit pattern (Float32bits), so ±0 sign differences count as
+// failures too.
+
+func bitsEqual(t *testing.T, name string, w int, got, want []float32) {
+	t.Helper()
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s workers=%d: element %d = %v (bits %#x), reference %v (bits %#x)",
+				name, w, i, got[i], math.Float32bits(got[i]), want[i], math.Float32bits(want[i]))
+		}
+	}
+}
+
+// gemmEquivOperands builds operands that exercise the special cases the
+// packed kernels treat specially: plain values, scattered +0 and -0
+// (the zero-skip guard and the dense-row scan), an all-zero row (fully
+// skipped row), and an all-dense row region.
+func gemmEquivOperands(m, k, n int, seed uint64) (a, b, c []float32) {
+	r := tensor.NewRNG(seed)
+	a = make([]float32, m*k)
+	b = make([]float32, k*n)
+	c = make([]float32, m*n)
+	for i := range a {
+		switch i % 11 {
+		case 0:
+			a[i] = 0
+		case 5:
+			a[i] = float32(math.Copysign(0, -1)) // -0: skipped, like +0
+		default:
+			a[i] = float32(r.Norm())
+		}
+	}
+	if m > 2 {
+		// One fully-zero A row: every k step skipped.
+		row := a[2*k : 3*k]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	if m > 1 {
+		// One fully-dense A row: the unguarded micro-kernel path.
+		row := a[k : 2*k]
+		for i := range row {
+			if row[i] == 0 {
+				row[i] = 0.25
+			}
+		}
+	}
+	for i := range b {
+		b[i] = float32(r.Norm())
+	}
+	for i := range c {
+		c[i] = float32(r.Norm()) // C += : incoming values must survive
+	}
+	return
+}
+
+func equivSizes() [][3]int {
+	return [][3]int{
+		{2, 8, 4},    // exactly the fallback thresholds
+		{3, 9, 5},    // odd everything: 1-row tail + edge panel
+		{16, 32, 16}, // aligned
+		{33, 47, 29}, // odd, large enough for several panels
+		{64, 128, 64},
+		{1, 4, 3}, // below thresholds: fallback must also agree (trivially, it IS the reference)
+	}
+}
+
+func runAtWorkers(w int, f func()) {
+	old := parallel.SetWorkers(w)
+	defer parallel.SetWorkers(old)
+	f()
+}
+
+func TestGemmPackedBitIdenticalToSaxpy(t *testing.T) {
+	for _, sz := range equivSizes() {
+		m, k, n := sz[0], sz[1], sz[2]
+		a, b, c0 := gemmEquivOperands(m, k, n, 77)
+		want := append([]float32(nil), c0...)
+		gemmSaxpy(m, k, n, a, b, want)
+		for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			got := append([]float32(nil), c0...)
+			runAtWorkers(w, func() { Gemm(m, k, n, a, b, got) })
+			bitsEqual(t, "Gemm", w, got, want)
+		}
+	}
+}
+
+func TestGemmTAPackedBitIdenticalToSaxpy(t *testing.T) {
+	for _, sz := range equivSizes() {
+		m, k, n := sz[0], sz[1], sz[2]
+		// B (k×n) and C (m×n) as usual; A is stored K×M, with the zero /
+		// -0 / dense special cases laid out per Aᵀ row (stored column).
+		_, b, c0 := gemmEquivOperands(m, k, n, 78)
+		r := tensor.NewRNG(82)
+		a := make([]float32, k*m)
+		for i := range a {
+			switch i % 11 {
+			case 0:
+				a[i] = 0
+			case 5:
+				a[i] = float32(math.Copysign(0, -1))
+			default:
+				a[i] = float32(r.Norm())
+			}
+		}
+		for kk := 0; kk < k; kk++ {
+			if m > 2 {
+				a[kk*m+2] = 0 // Aᵀ row 2 all-zero
+			}
+			if m > 1 && a[kk*m+1] == 0 {
+				a[kk*m+1] = 0.25 // Aᵀ row 1 fully dense
+			}
+		}
+		want := append([]float32(nil), c0...)
+		gemmTASaxpy(m, k, n, a, b, want)
+		for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			got := append([]float32(nil), c0...)
+			runAtWorkers(w, func() { GemmTA(m, k, n, a, b, got) })
+			bitsEqual(t, "GemmTA", w, got, want)
+		}
+	}
+}
+
+func TestGemmTBPackedBitIdenticalToSaxpy(t *testing.T) {
+	for _, sz := range equivSizes() {
+		m, k, n := sz[0], sz[1], sz[2]
+		// B is stored N×K for the TB kernel.
+		a, _, c0 := gemmEquivOperands(m, k, n, 79)
+		bt := make([]float32, n*k)
+		r := tensor.NewRNG(80)
+		for i := range bt {
+			bt[i] = float32(r.Norm())
+		}
+		want := append([]float32(nil), c0...)
+		gemmTBSaxpy(m, k, n, a, bt, want)
+		for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			got := append([]float32(nil), c0...)
+			runAtWorkers(w, func() { GemmTB(m, k, n, a, bt, got) })
+			bitsEqual(t, "GemmTB", w, got, want)
+		}
+	}
+}
+
+// TestGemmNaNAndInfPropagation pins the zero-skip edge semantics: the
+// packed guard (integer bit test) must treat NaN and ±Inf exactly as the
+// reference's `av == 0` comparison does — NaN and Inf are "non-zero" and
+// enter the accumulation, poisoning C identically in both kernels.
+func TestGemmNaNAndInfPropagation(t *testing.T) {
+	const m, k, n = 4, 16, 8
+	a, b, c0 := gemmEquivOperands(m, k, n, 81)
+	a[3] = float32(math.NaN())
+	a[k+5] = float32(math.Inf(1))
+	a[2*k+7] = float32(math.Inf(-1))
+	want := append([]float32(nil), c0...)
+	gemmSaxpy(m, k, n, a, b, want)
+	got := append([]float32(nil), c0...)
+	Gemm(m, k, n, a, b, got)
+	bitsEqual(t, "Gemm/nan-inf", parallel.Workers(), got, want)
+}

@@ -124,6 +124,7 @@ func encodeJPEG(p Pipeline, kind compress.Kind, x *tensor.Tensor) (Encoded, erro
 	blocks, scales, _ := pl.QuantizeBlocks(x)
 	f := &frame.Frame{Codec: frame.CodecJPEG, Kind: uint8(kind), Shape: x.Shape}
 	f.Payload = coding.EncodeZVCBlocks(blocks)
+	compress.ReleaseBlocks(blocks)
 	f.Scales = scales
 	return Encoded{Frame: f}, nil
 }

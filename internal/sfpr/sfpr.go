@@ -69,17 +69,23 @@ func QuantizeInto(x *tensor.Tensor, scales []float32, vals []int8) {
 	hw := sh.H * sh.W
 	parallel.For(sh.N*sh.C, parallel.Grain(hw, quantGrain), func(lo, hi int) {
 		for nc := lo; nc < hi; nc++ {
-			sc := scales[nc%sh.C]
+			// Hoisting sc·128 into float64 is bit-exact: the float32
+			// product v·sc is exactly representable in float64 (48-bit
+			// significand), and ·128 only shifts the exponent, so
+			// v·(sc·128) equals (v·sc)·128 computed per element.
+			sc128 := float64(scales[nc%sh.C]) * 128
 			base := nc * hw
-			for i := 0; i < hw; i++ {
-				vals[base+i] = quantizeOne(x.Data[base+i], sc)
+			src := x.Data[base : base+hw]
+			dst := vals[base : base+hw]
+			for i, v := range src {
+				dst[i] = quantizeOne(v, sc128)
 			}
 		}
 	})
 }
 
-func quantizeOne(v, sc float32) int8 {
-	f := float64(v) * float64(sc) * 128
+func quantizeOne(v float32, sc128 float64) int8 {
+	f := float64(v) * sc128
 	var q int32
 	if f >= 0 {
 		q = int32(f + 0.5)

@@ -164,24 +164,58 @@ func (t *Tensor) MaxAbs() float32 {
 
 // ChannelMaxAbs returns, for each channel c, max over n,h,w of |x[n,c,h,w]|.
 // This is the per-channel maximum used by SFPR's scaling factor (Eqn. 4).
+//
+// The reduction runs four independent accumulators per plane with the
+// sign bit masked off in the integer domain; both |·| and max are exact
+// operations, so the split changes no result bit relative to a serial
+// scan, it only breaks the loop-carried compare dependency.
 func (t *Tensor) ChannelMaxAbs() []float32 {
+	const signMask = 0x7FFFFFFF
 	s := t.Shape
 	out := make([]float32, s.C)
 	hw := s.H * s.W
 	for n := 0; n < s.N; n++ {
 		for c := 0; c < s.C; c++ {
 			base := (n*s.C + c) * hw
-			m := out[c]
-			for i := 0; i < hw; i++ {
-				v := t.Data[base+i]
-				if v < 0 {
-					v = -v
+			plane := t.Data[base : base+hw]
+			var m0, m1, m2, m3 float32
+			i := 0
+			for ; i+4 <= hw; i += 4 {
+				v0 := math.Float32frombits(math.Float32bits(plane[i]) & signMask)
+				v1 := math.Float32frombits(math.Float32bits(plane[i+1]) & signMask)
+				v2 := math.Float32frombits(math.Float32bits(plane[i+2]) & signMask)
+				v3 := math.Float32frombits(math.Float32bits(plane[i+3]) & signMask)
+				if v0 > m0 {
+					m0 = v0
 				}
-				if v > m {
-					m = v
+				if v1 > m1 {
+					m1 = v1
+				}
+				if v2 > m2 {
+					m2 = v2
+				}
+				if v3 > m3 {
+					m3 = v3
 				}
 			}
-			out[c] = m
+			for ; i < hw; i++ {
+				v := math.Float32frombits(math.Float32bits(plane[i]) & signMask)
+				if v > m0 {
+					m0 = v
+				}
+			}
+			if m1 > m0 {
+				m0 = m1
+			}
+			if m2 > m0 {
+				m0 = m2
+			}
+			if m3 > m0 {
+				m0 = m3
+			}
+			if m0 > out[c] {
+				out[c] = m0
+			}
 		}
 	}
 	return out

@@ -27,3 +27,18 @@ echo "merge before/after into BENCH_parallel.json by hand or rerun the recording
 go run ./cmd/offloadbench > BENCH_offload.json
 echo "wrote BENCH_offload.json:"
 grep -E 'speedup|trajectory' BENCH_offload.json
+
+# Kernel benchmarks (fused AAN codec + packed GEMM): one serial row and
+# one all-cores row, recorded as raw `go test -bench` output. The
+# committed BENCH_kernels.json pairs the saxpy/pre-fusion reference
+# numbers (the *SaxpyRef benchmarks and the pre-rewrite baseline run)
+# with these.
+kbench='BenchmarkGemm$|BenchmarkGemmTA$|BenchmarkGemmTB$|BenchmarkGemmSaxpyRef$|BenchmarkGemmTASaxpyRef$|BenchmarkGemmTBSaxpyRef$|BenchmarkCompressJPEGACT$|BenchmarkTrainStep$|BenchmarkAANForward8x8$|BenchmarkLLMForward8x8$'
+kout="BENCH_kernels.${label}.txt"
+: > "$kout"
+for procs in 1 "$(nproc)"; do
+  echo "# GOMAXPROCS=$procs" >> "$kout"
+  GOMAXPROCS="$procs" go test -run '^$' -benchtime=2s -benchmem \
+    -bench "$kbench" ./... | tee -a "$kout"
+done
+echo "wrote $kout (cores=$(nproc)); merge into BENCH_kernels.json by hand"
