@@ -36,15 +36,19 @@ bench-offload:
 	@grep -E 'speedup|trajectory' BENCH_offload.json
 
 # Fuzz sweep: every decoder fuzz target for 10s each. Go runs one fuzz
-# target per invocation, so loop over the discovered names. The offload
-# container decoder (FuzzDecodeFrame) is the one that faces an untrusted
-# channel — it must survive arbitrary bytes without a panic.
+# target per invocation, so loop over the discovered names in each fuzzed
+# package. The decoders facing untrusted bytes — the offload container
+# (FuzzDecodeFrame) and the coefficient-plane restore
+# (FuzzDecodeCoefficients) — must survive arbitrary input without a panic.
 FUZZTIME ?= 10s
+FUZZPKGS = ./internal/coding/ ./internal/offload/codec/
 .PHONY: fuzz
 fuzz:
-	@for t in $$(go test -list '^Fuzz' ./internal/coding/ | grep '^Fuzz'); do \
-		echo "== $$t"; \
-		go test -run '^$$' -fuzz "^$$t$$" -fuzztime=$(FUZZTIME) ./internal/coding/ || exit 1; \
+	@for pkg in $(FUZZPKGS); do \
+		for t in $$(go test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "== $$pkg $$t"; \
+			go test -run '^$$' -fuzz "^$$t$$" -fuzztime=$(FUZZTIME) $$pkg || exit 1; \
+		done; \
 	done
 
 .PHONY: fmt

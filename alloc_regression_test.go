@@ -3,7 +3,11 @@ package jpegact
 import (
 	"testing"
 
+	"jpegact/internal/compress"
 	"jpegact/internal/data"
+	"jpegact/internal/frame"
+	"jpegact/internal/offload/codec"
+	"jpegact/internal/quant"
 	"jpegact/internal/tensor"
 )
 
@@ -33,6 +37,51 @@ func TestCompressActivationAllocs(t *testing.T) {
 	const maxAllocs = 200 // seed: 4123; current: ~23
 	if allocs > maxAllocs {
 		t.Fatalf("CompressActivation allocates %.0f objects/op, budget %d (seed was 4123)",
+			allocs, maxAllocs)
+	}
+}
+
+// TestDecodeCoefficientsAllocs guards the coefficient-restore hot path:
+// DecodeCoefficients runs once per qualifying saved activation per
+// backward step, so per-block allocations there would undo the win of
+// skipping the inverse transform. With the plane and its block storage
+// drawn from pools, a steady-state decode+release cycle costs only the
+// plane bookkeeping (~a dozen objects); the budget fails loudly if
+// per-block temporaries ever start escaping.
+func TestDecodeCoefficientsAllocs(t *testing.T) {
+	r := tensor.NewRNG(2)
+	x := data.ActivationTensor(r, 2, 4, 16, 16, 0.5, 1.0)
+
+	p := codec.New(quant.OptL())
+	enc, err := p.Encode(compress.KindConv, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := frame.DecodeFrame(frame.EncodeFrame(enc.Frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := SetParallelWorkers(1)
+	defer SetParallelWorkers(prev)
+
+	// Warm the plane/block pools so the steady state is measured.
+	if pl, err := p.DecodeCoefficients(f); err != nil {
+		t.Fatal(err)
+	} else {
+		pl.Release()
+	}
+
+	allocs := testing.AllocsPerRun(10, func() {
+		pl, err := p.DecodeCoefficients(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.Release()
+	})
+	const maxAllocs = 16
+	if allocs > maxAllocs {
+		t.Fatalf("DecodeCoefficients+Release allocates %.0f objects/op, budget %d",
 			allocs, maxAllocs)
 	}
 }

@@ -79,6 +79,8 @@ func main() {
 		"with -async: backward restore lookahead (0 = on-demand)")
 	inflight := flag.Int("inflight", 0,
 		"with -async: in-flight encoded byte budget (0 = unlimited)")
+	freq := flag.Bool("freq", false,
+		"with -offload: restore qualifying activations as DCT coefficient planes (skip the inverse transform)")
 	flag.Parse()
 
 	m, ok := methodByName(*method)
@@ -94,7 +96,7 @@ func main() {
 
 	if *useOffload {
 		runOffloaded(*model, sc, cfg, *seed, *policy, *flip, *trunc, *drop, *faultSeed,
-			*maxRecompute, *async, *prefetch, *inflight)
+			*maxRecompute, *async, *prefetch, *inflight, *freq)
 		return
 	}
 
@@ -131,7 +133,7 @@ func main() {
 
 // runOffloaded trains over the real host-memory channel, optionally
 // fault-injected, and reports the store's recovery counters.
-func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, seed uint64, policy string, flip, trunc, drop float64, faultSeed uint64, maxRecompute int, async bool, prefetch, inflight int) {
+func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, seed uint64, policy string, flip, trunc, drop float64, faultSeed uint64, maxRecompute int, async bool, prefetch, inflight int, freq bool) {
 	if model == "VDSR" {
 		fmt.Fprintln(os.Stderr, "acttrain: -offload supports the classification models only")
 		os.Exit(2)
@@ -150,6 +152,7 @@ func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, 
 	}
 	oc := jpegact.OffloadTrainOptions{
 		DQT: jpegact.OptL(), Policy: pol, MaxRecompute: maxRecompute, Verbose: true,
+		FreqDomain: freq,
 	}
 	if async {
 		oc.Async = true
@@ -179,6 +182,10 @@ func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, 
 	fmt.Printf("channel: offloaded=%d restored=%d corrupted=%d retried=%d recomputed=%d dropped=%d verified=%dB\n",
 		stats.Offloaded, stats.Restored, stats.Corrupted, stats.Retried,
 		stats.Recomputed, stats.Dropped, stats.BytesVerified)
+	if freq && stats.Restored > 0 {
+		fmt.Printf("freq: coef_restores=%d/%d (%.1f%%)\n", stats.CoefRestores, stats.Restored,
+			100*float64(stats.CoefRestores)/float64(stats.Restored))
+	}
 	if inj != nil {
 		s := inj.Stats()
 		fmt.Printf("injector: transfers=%d flips=%d truncations=%d drops=%d forced=%d\n",

@@ -60,6 +60,15 @@ func (p *Pipeline) QuantizeBlocks(x *tensor.Tensor) ([][64]int8, []float32, tens
 	return p.quantizeBlocks(x, *blkP)
 }
 
+// BorrowBlocks hands out an n-block slice from the scratch pool — the
+// same pool QuantizeBlocks draws from — for callers that decode
+// quantized blocks from a byte stream instead of producing them (the
+// offload codec's coefficient path). Return it with ReleaseBlocks.
+// Contents are dirty.
+func BorrowBlocks(n int) [][64]int8 {
+	return *getBlocks(n)
+}
+
 // ReleaseBlocks returns a block slice obtained from QuantizeBlocks to
 // the scratch pool. The caller must not touch blocks afterwards.
 func ReleaseBlocks(blocks [][64]int8) {

@@ -1,0 +1,125 @@
+// Package freqdomain implements the frequency-domain restore path: an
+// offloaded JPEG-ACT frame is decoded only as far as its quantized 8×8
+// DCT coefficient blocks, and layers whose backward pass is linear in
+// the saved activation consume the coefficients directly — no inverse
+// DCT, no materialized spatial tensor.
+//
+// The math rests on two properties of the JPEG-normalized DCT
+// (dct.NormBasis2D): orthonormality, so inner products against the
+// saved activation move to the coefficient domain (Parseval) where the
+// post-quantization zeros can be skipped; and the DC sum identity, so
+// per-channel sums need only each block's DC term. The kernels here
+// supply exactly the views BatchNorm, 1×1-conv/GEMM and elementwise
+// scale/add backward need (see internal/nn's CoefficientConsumer
+// implementations and DESIGN.md "Frequency-domain restore").
+//
+// Validity requires every 8×8 block to lie within one (n,c) plane of
+// the tensor's (NCH)×W blocking, i.e. H and W both multiples of 8
+// (Aligned). Consumers must fall back to a full spatial decode
+// otherwise; Reconstruct provides that fallback bit-identically to the
+// spatial codec path.
+package freqdomain
+
+import (
+	"jpegact/internal/compress"
+	"jpegact/internal/dct"
+	"jpegact/internal/quant"
+	"jpegact/internal/sfpr"
+	"jpegact/internal/tensor"
+)
+
+// Plane is one decoded coefficient plane: the quantized 8×8 DCT blocks
+// of a saved activation plus everything needed to interpret them — the
+// per-channel SFPR scales, the block geometry, and the folded
+// dequantizer tables of the frame's quantization backend. The block
+// slice is pooled (compress's scratch pool); Release returns it.
+type Plane struct {
+	// Blocks are the quantized coefficient blocks in (NCH)×W block
+	// row-major order, exactly as compress.QuantizeBlocks produces them.
+	Blocks [][64]int8
+	// Scales are the per-channel SFPR quantization scales.
+	Scales []float32
+	// Info is the 8×8 blocking geometry of the original shape.
+	Info tensor.PadInfo
+
+	dqt   quant.DQT
+	shift bool
+	s     float64
+
+	// dqNorm maps a quantized value to the JPEG-normalized coefficient
+	// (for Parseval dots); dqAAN maps it to the AANInverse8x8-ready
+	// prescaled coefficient (for the fused scale/add restore).
+	dqNorm [64]float32
+	dqAAN  [64]float32
+}
+
+// NewPlane wraps decoded blocks into a Plane. blocks is owned by the
+// plane from here on (Release hands it back to the compress pool).
+// shift selects the SH quantization backend tables (true for JPEG-ACT
+// frames); s is the SFPR global scale the frame was encoded with.
+func NewPlane(blocks [][64]int8, scales []float32, info tensor.PadInfo, d quant.DQT, shift bool, s float64) *Plane {
+	p := &Plane{Blocks: blocks, Scales: scales, Info: info, dqt: d, shift: shift, s: s}
+	p.dqNorm = p.dqt.FoldedInverse(shift, &dct.UnitScale2D)
+	p.dqAAN = p.dqt.FoldedInverse(shift, &dct.AANPrescale2D)
+	return p
+}
+
+// Quantize builds a plane straight from a tensor through the JPEG-ACT
+// pipeline (SFPR → AAN DCT → folded SH quantization) — the test and
+// benchmark entry point; production planes come from the offload
+// codec's DecodeCoefficients.
+func Quantize(x *tensor.Tensor, d quant.DQT, s float64) *Plane {
+	pl := compress.JPEGAct(d)
+	pl.S = s
+	blocks, scales, info := pl.QuantizeBlocks(x)
+	return NewPlane(blocks, scales, info, d, true, s)
+}
+
+// Release returns the pooled block slice. The plane must not be used
+// afterwards. Safe to call twice.
+func (p *Plane) Release() {
+	compress.ReleaseBlocks(p.Blocks)
+	p.Blocks = nil
+}
+
+// Shape returns the original (unpadded) activation shape.
+func (p *Plane) Shape() tensor.Shape { return p.Info.Orig }
+
+// Aligned reports whether every 8×8 block lies within a single (n,c)
+// plane — the precondition for all per-channel coefficient kernels.
+// Both spatial dims must be block multiples; PadRows == 0 alone is not
+// enough (an H%8 != 0 tensor with an even plane count pads to zero rows
+// but its blocks still straddle channel boundaries).
+func (p *Plane) Aligned() bool {
+	sh := p.Info.Orig
+	return sh.H%dct.BlockSize == 0 && sh.W%dct.BlockSize == 0
+}
+
+// InvScale returns channel c's inverse SFPR scale (0 for an all-zero
+// channel), the factor from clamped spatial codes back to activation
+// units.
+func (p *Plane) InvScale(c int) float32 {
+	if sc := p.Scales[c]; sc != 0 {
+		return 1 / (sc * 128)
+	}
+	return 0
+}
+
+// pipeline reconstitutes the compress pipeline the blocks came from.
+func (p *Plane) pipeline() compress.Pipeline {
+	return compress.Pipeline{DQT: p.dqt, UseShift: p.shift, UseZVC: true, S: p.s}
+}
+
+// Reconstruct materializes the full spatial tensor — bit-identical to
+// the codec's spatial decode of the same frame, so a consumer that
+// cannot use the coefficient view (or a plane that fails Aligned) loses
+// nothing by falling back through here. The plane's blocks remain
+// valid; call Release separately.
+func (p *Plane) Reconstruct() *tensor.Tensor {
+	pl := p.pipeline()
+	return pl.ReconstructBlocks(p.Blocks, p.Scales, p.Info)
+}
+
+// DefaultS mirrors the SFPR default for callers constructing planes
+// without a configured scale.
+const DefaultS = sfpr.DefaultS

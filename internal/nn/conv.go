@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"jpegact/internal/compress"
+	"jpegact/internal/dct"
+	"jpegact/internal/freqdomain"
 	"jpegact/internal/parallel"
 	"jpegact/internal/tensor"
 )
@@ -23,9 +25,12 @@ type Conv2D struct {
 	Weight      *Param // (OutC, InC, K, K)
 	Bias        *Param // (1, OutC, 1, 1); nil when disabled
 	in          *ActRef
+	inShape     tensor.Shape // shape of the saved input (survives offload nil-ing T)
 	outShape    tensor.Shape
 	colBuf      []float32
 	dcolBuf     []float32
+	freqGF      []float32 // transposed grad coefficients (HW × OutC)
+	freqWG      []float32 // ∇Wᵀ accumulator (InC × OutC)
 }
 
 // ConvOpts configures optional conv features.
@@ -97,6 +102,7 @@ func (c *Conv2D) Forward(in *ActRef, train bool) *ActRef {
 	}
 	if train {
 		c.in = in
+		c.inShape = x.Shape
 	}
 	ho, wo := c.outDims(x.Shape)
 	c.outShape = tensor.Shape{N: x.Shape.N, C: c.OutC, H: ho, W: wo}
@@ -131,10 +137,29 @@ func (c *Conv2D) Forward(in *ActRef, train bool) *ActRef {
 	return &ActRef{Name: c.LayerName + ".out", Kind: compress.KindConv, T: out}
 }
 
+// WantsCoefficients implements CoefficientConsumer. Only the 1×1,
+// stride-1, unpadded configuration qualifies: there im2col is the
+// identity, so ∇W is a plain GEMM against the saved input and moves to
+// the coefficient domain by DCT linearity (Parseval per plane). The kind
+// must be one the codec routes through the DCT path, and both spatial
+// dims must be 8-aligned.
+func (c *Conv2D) WantsCoefficients(ref *ActRef) bool {
+	return ref == c.in && ref.Kind == compress.KindConv &&
+		c.Kernel == 1 && c.Stride == 1 && c.Pad == 0 &&
+		c.inShape.H%dct.BlockSize == 0 && c.inShape.W%dct.BlockSize == 0
+}
+
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if c.in == nil {
 		panic("nn: conv backward before forward")
+	}
+	if c.in.Coef != nil {
+		if c.in.T == nil && c.in.Coef.Aligned() &&
+			c.Kernel == 1 && c.Stride == 1 && c.Pad == 0 {
+			return c.backwardFreq(grad)
+		}
+		spatialFromPlane(c.in)
 	}
 	x := c.in.T
 	if x == nil {
@@ -165,6 +190,63 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 		GemmTA(k2, c.OutC, spatial, c.Weight.W.Data, gout, dcols)
 		c.col2im(dcols, dx, n)
+	}
+	if c.Bias != nil {
+		for n := 0; n < grad.Shape.N; n++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				base := (n*c.OutC + oc) * spatial
+				var sum float32
+				for i := 0; i < spatial; i++ {
+					sum += grad.Data[base+i]
+				}
+				c.Bias.Grad.Data[oc] += sum
+			}
+		}
+	}
+	return dx
+}
+
+// backwardFreq is the coefficient-domain backward for the 1×1/stride-1/
+// unpadded configuration. ∇W moves to the frequency domain by Parseval:
+// per batch element, the saved input's sparse quantized blocks multiply
+// the gradient's transposed forward-DCT columns through CoefGemm, which
+// walks only the stored nonzero coefficients — every post-quantization
+// zero is skipped at the source rather than re-scanned per GEMM panel.
+// ∇x never needed the saved input at all — it is Wᵀ·∇y through the
+// guarded GEMM micro-kernels exactly as in the spatial path (col2im is
+// the identity here), so the input gradient is bit-identical to a
+// spatial-restore run; only ∇W carries the frequency path's documented
+// half-code-unit tolerance.
+func (c *Conv2D) backwardFreq(grad *tensor.Tensor) *tensor.Tensor {
+	pl := c.in.Coef
+	sh := pl.Shape()
+	spatial := sh.H * sh.W
+	dx := tensor.New(sh.N, c.InC, sh.H, sh.W)
+
+	if cap(c.freqGF) < spatial*c.OutC {
+		c.freqGF = make([]float32, spatial*c.OutC)
+	}
+	gf := c.freqGF[:spatial*c.OutC]
+	if cap(c.freqWG) < c.InC*c.OutC {
+		c.freqWG = make([]float32, c.InC*c.OutC)
+	}
+	wgT := c.freqWG[:c.InC*c.OutC]
+	for i := range wgT {
+		wgT[i] = 0
+	}
+	for n := 0; n < sh.N; n++ {
+		gout := grad.Data[n*c.OutC*spatial : (n+1)*c.OutC*spatial]
+		// ∇Wᵀ += X̃f (InC×HW, sparse) · Gf (HW×OutC)
+		freqdomain.GradCoefColumns(grad, n, gf)
+		pl.CoefGemm(n, c.OutC, gf, wgT)
+		// ∇x[n] = Wᵀ·∇y[n]
+		GemmTA(c.InC, c.OutC, spatial, c.Weight.W.Data, gout,
+			dx.Data[n*c.InC*spatial:(n+1)*c.InC*spatial])
+	}
+	for oc := 0; oc < c.OutC; oc++ {
+		for ic := 0; ic < c.InC; ic++ {
+			c.Weight.Grad.Data[oc*c.InC+ic] += wgT[ic*c.OutC+oc]
+		}
 	}
 	if c.Bias != nil {
 		for n := 0; n < grad.Shape.N; n++ {

@@ -1,0 +1,77 @@
+package nn
+
+// Frequency-domain restore support: layers whose backward pass is linear
+// in the saved activation can consume an offloaded activation's quantized
+// DCT coefficients directly (freqdomain.Plane) instead of a fully
+// inverse-transformed tensor. The capability is opt-in per (layer, ref)
+// pair through CoefficientConsumer, and a ref qualifies only when EVERY
+// layer that saved it opted in — a single spatial reader vetoes the ref,
+// because the plane replaces ref.T for all of them. See DESIGN.md
+// "Frequency-domain restore".
+
+// CoefficientConsumer is implemented by layers whose Backward can read a
+// saved ref as a coefficient plane. WantsCoefficients must be
+// conservative: return true only for refs the layer will actually accept
+// in Backward (right layer config, 8-aligned spatial dims, a kind the
+// codec routes through the JPEG-ACT DCT path).
+type CoefficientConsumer interface {
+	WantsCoefficients(ref *ActRef) bool
+}
+
+// CoefficientPlan walks the network and returns the set of saved refs
+// every reader of which can consume the coefficient view. Container
+// layers aggregate their children's refs and are skipped; each leaf
+// layer votes per ref, and any leaf that is not a capable consumer of a
+// ref vetoes it. The result is what the offload scheduler consults when
+// deciding between DecodeCoefficients and a full decode.
+func CoefficientPlan(root Layer) map[*ActRef]bool {
+	want := map[*ActRef]bool{}
+	veto := map[*ActRef]bool{}
+	Walk(root, func(l Layer) {
+		if _, isContainer := l.(Container); isContainer {
+			return
+		}
+		cc, capable := l.(CoefficientConsumer)
+		for _, ref := range l.SavedRefs() {
+			if capable && cc.WantsCoefficients(ref) {
+				want[ref] = true
+			} else {
+				veto[ref] = true
+			}
+		}
+	})
+	plan := make(map[*ActRef]bool, len(want))
+	for ref := range want {
+		if !veto[ref] {
+			plan[ref] = true
+		}
+	}
+	return plan
+}
+
+// ReleaseCoefficients returns every listed ref's coefficient plane (if
+// any) to the block pool. The trainer calls this at step end; consumers
+// leave planes attached through Backward so a ref shared by several
+// capable readers stays readable for all of them.
+func ReleaseCoefficients(refs []*ActRef) {
+	for _, ref := range refs {
+		if ref.Coef != nil {
+			ref.Coef.Release()
+			ref.Coef = nil
+		}
+	}
+}
+
+// spatialFromPlane materializes ref.T from an attached coefficient plane
+// — the defensive fallback a consumer takes when it finds a plane it
+// cannot use (a recompute rebuilt the layer's config mid-step, say). The
+// reconstruction is bit-identical to the codec's full decode, so falling
+// back costs nothing but the inverse transform it skipped.
+func spatialFromPlane(ref *ActRef) {
+	if ref.Coef == nil || ref.T != nil {
+		return
+	}
+	ref.T = ref.Coef.Reconstruct()
+	ref.Coef.Release()
+	ref.Coef = nil
+}

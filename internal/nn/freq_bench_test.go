@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"testing"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/data"
+	"jpegact/internal/freqdomain"
+	"jpegact/internal/quant"
+	"jpegact/internal/tensor"
+)
+
+// benchRestoredBackward measures restore + backward over a BN → 1×1-conv
+// stack from the same offloaded quantized-coefficient state: the spatial
+// variant pays the inverse transform (dequant → IDCT → clamp → scale,
+// bit-identical to the codec's full decode) before the classic backward;
+// the frequency variant consumes the plane directly. The encode side is
+// common to both paths and stays outside the timer.
+func benchRestoredBackward(b *testing.B, freq bool) {
+	r := tensor.NewRNG(61)
+	const n, c, h, w = 4, 32, 32, 32
+	x := data.ActivationTensor(r, n, c, h, w, 0.5, 1.0)
+	dyBN := tensor.New(n, c, h, w)
+	dyBN.FillNormal(r, 0, 1)
+	dyCV := tensor.New(n, c, h, w)
+	dyCV.FillNormal(r, 0, 1)
+
+	bn := NewBatchNorm("bn", c)
+	cv := NewConv2D("cv", c, c, 1, ConvOpts{}, r)
+	bn.Forward(&ActRef{Name: "x", Kind: compress.KindConv, T: x.Clone()}, true)
+	cv.Forward(&ActRef{Name: "x", Kind: compress.KindConv, T: x.Clone()}, true)
+
+	plBN := freqdomain.Quantize(x, quant.OptL(), freqdomain.DefaultS)
+	defer plBN.Release()
+	plCV := freqdomain.Quantize(x, quant.OptL(), freqdomain.DefaultS)
+	defer plCV.Release()
+
+	b.SetBytes(int64(2 * x.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if freq {
+			bn.in.T, bn.in.Coef = nil, plBN
+			cv.in.T, cv.in.Coef = nil, plCV
+		} else {
+			bn.in.T, bn.in.Coef = plBN.Reconstruct(), nil
+			cv.in.T, cv.in.Coef = plCV.Reconstruct(), nil
+		}
+		_ = bn.Backward(dyBN)
+		_ = cv.Backward(dyCV)
+		// Detach without releasing so the planes are reusable next round.
+		bn.in.Coef, cv.in.Coef = nil, nil
+	}
+}
+
+func BenchmarkBackwardSpatial(b *testing.B)    { benchRestoredBackward(b, false) }
+func BenchmarkBackwardFreqDomain(b *testing.B) { benchRestoredBackward(b, true) }

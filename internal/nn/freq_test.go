@@ -1,0 +1,249 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/data"
+	"jpegact/internal/freqdomain"
+	"jpegact/internal/parallel"
+	"jpegact/internal/quant"
+	"jpegact/internal/tensor"
+)
+
+// attachPlane simulates a coefficient restore: the ref's tensor is
+// quantized through the JPEG-ACT pipeline and replaced by its plane.
+func attachPlane(ref *ActRef) {
+	ref.Coef = freqdomain.Quantize(ref.T, quant.OptL(), freqdomain.DefaultS)
+	ref.T = nil
+}
+
+// attachSpatial simulates the matching full-decode restore of the same
+// frame (bit-identical to the codec's spatial decode).
+func attachSpatial(ref *ActRef) {
+	pl := freqdomain.Quantize(ref.T, quant.OptL(), freqdomain.DefaultS)
+	ref.T = pl.Reconstruct()
+	pl.Release()
+}
+
+// maxAbs is the tolerance scale: the frequency path's deviation from the
+// spatial path is an absolute quantity (≤ half a code unit per element,
+// accumulated across a plane), so each element is compared against 5% of
+// the largest spatial-path magnitude in the same tensor — not its own
+// magnitude, which for near-zero entries would demand the impossible.
+func maxAbs(a []float32) float64 {
+	var m float64
+	for _, v := range a {
+		if x := math.Abs(float64(v)); x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func relTol(got, want, scale float64) bool {
+	return math.Abs(got-want) <= 5e-2*(1+scale)
+}
+
+// TestCoefficientPlan pins the veto semantics: only refs whose every
+// leaf reader opted in qualify; a ReLU sharing a conv's input vetoes it.
+func TestCoefficientPlan(t *testing.T) {
+	r := tensor.NewRNG(21)
+	bn := NewBatchNorm("bn", 4)
+	c1 := NewConv2D("c1", 4, 8, 1, ConvOpts{}, r)
+	relu := NewReLU("relu")
+	c3 := NewConv2D("c3", 8, 8, 3, ConvOpts{Pad: 1}, r)
+	net := NewSequential("net", bn, c1, relu, c3)
+
+	x := data.ActivationTensor(r, 2, 4, 16, 16, 0.5, 1.0)
+	net.Forward(&ActRef{Name: "in", Kind: compress.KindConv, T: x}, true)
+
+	plan := CoefficientPlan(net)
+	if !plan[bn.in] {
+		t.Error("BN input must be in the plan")
+	}
+	if !plan[c1.in] {
+		t.Error("1×1 conv input must be in the plan")
+	}
+	if plan[c3.in] {
+		t.Error("3×3 conv input (shared with ReLU) must be vetoed")
+	}
+	if len(plan) != 2 {
+		t.Errorf("plan has %d refs, want 2", len(plan))
+	}
+
+	// Misaligned input: nothing qualifies.
+	bn2 := NewBatchNorm("bn2", 4)
+	net2 := NewSequential("net2", bn2)
+	x2 := tensor.New(2, 4, 12, 12)
+	x2.FillNormal(r, 0, 1)
+	net2.Forward(&ActRef{Name: "in2", Kind: compress.KindConv, T: x2}, true)
+	if plan2 := CoefficientPlan(net2); len(plan2) != 0 {
+		t.Errorf("misaligned plan has %d refs, want 0", len(plan2))
+	}
+}
+
+// TestBatchNormFreqBackward pins the frequency-domain BN backward
+// against the spatial path on the same restored frame: ∂β bit-identical,
+// ∂γ and dx within the stated 5% relative tolerance (the unclamped
+// Parseval dot accumulates up to half a code unit per element).
+func TestBatchNormFreqBackward(t *testing.T) {
+	r := tensor.NewRNG(23)
+	x := data.ActivationTensor(r, 2, 6, 16, 16, 0.5, 1.0)
+	dy := tensor.New(2, 6, 16, 16)
+	dy.FillNormal(r, 0, 1)
+
+	run := func(freq bool) (dx *tensor.Tensor, beta, gamma []float32) {
+		b := NewBatchNorm("bn", 6)
+		out := b.Forward(&ActRef{Name: "x", Kind: compress.KindConv, T: x.Clone()}, true)
+		_ = out
+		if freq {
+			attachPlane(b.in)
+			defer ReleaseCoefficients([]*ActRef{b.in})
+		} else {
+			attachSpatial(b.in)
+		}
+		dx = b.Backward(dy)
+		return dx, b.Beta.Grad.Data, b.Gamma.Grad.Data
+	}
+	sdx, sbeta, sgamma := run(false)
+	fdx, fbeta, fgamma := run(true)
+
+	for c := range sbeta {
+		if math.Float32bits(fbeta[c]) != math.Float32bits(sbeta[c]) {
+			t.Fatalf("∂β[%d]: freq %v, spatial %v (must be bit-identical)", c, fbeta[c], sbeta[c])
+		}
+		if !relTol(float64(fgamma[c]), float64(sgamma[c]), maxAbs(sgamma)) {
+			t.Fatalf("∂γ[%d]: freq %v, spatial %v", c, fgamma[c], sgamma[c])
+		}
+	}
+	dxScale := maxAbs(sdx.Data)
+	for i := range sdx.Data {
+		if !relTol(float64(fdx.Data[i]), float64(sdx.Data[i]), dxScale) {
+			t.Fatalf("dx[%d]: freq %v, spatial %v", i, fdx.Data[i], sdx.Data[i])
+		}
+	}
+}
+
+// TestConvFreqBackward pins the 1×1-conv frequency backward: ∇x and ∂b
+// bit-identical to the spatial path (neither reads the saved input), ∇W
+// within tolerance.
+func TestConvFreqBackward(t *testing.T) {
+	r := tensor.NewRNG(29)
+	x := data.ActivationTensor(r, 2, 8, 16, 16, 0.5, 1.0)
+	dy := tensor.New(2, 12, 16, 16)
+	dy.FillNormal(r, 0, 1)
+
+	run := func(freq bool) (dx *tensor.Tensor, wg, bg []float32) {
+		rw := tensor.NewRNG(31) // same weights both runs
+		c := NewConv2D("c", 8, 12, 1, ConvOpts{Bias: true}, rw)
+		c.Forward(&ActRef{Name: "x", Kind: compress.KindConv, T: x.Clone()}, true)
+		if freq {
+			attachPlane(c.in)
+			defer ReleaseCoefficients([]*ActRef{c.in})
+		} else {
+			attachSpatial(c.in)
+		}
+		dx = c.Backward(dy)
+		return dx, c.Weight.Grad.Data, c.Bias.Grad.Data
+	}
+	sdx, swg, sbg := run(false)
+	fdx, fwg, fbg := run(true)
+
+	for i := range sdx.Data {
+		if math.Float32bits(fdx.Data[i]) != math.Float32bits(sdx.Data[i]) {
+			t.Fatalf("∇x[%d]: freq %v, spatial %v (must be bit-identical)", i, fdx.Data[i], sdx.Data[i])
+		}
+	}
+	for i := range sbg {
+		if math.Float32bits(fbg[i]) != math.Float32bits(sbg[i]) {
+			t.Fatalf("∂b[%d]: freq %v, spatial %v (must be bit-identical)", i, fbg[i], sbg[i])
+		}
+	}
+	wgScale := maxAbs(swg)
+	for i := range swg {
+		if !relTol(float64(fwg[i]), float64(swg[i]), wgScale) {
+			t.Fatalf("∇W[%d]: freq %v, spatial %v", i, fwg[i], swg[i])
+		}
+	}
+}
+
+// TestFreqBackwardDeterministicAcrossWorkers pins bit-exact freq-domain
+// backward outputs at worker counts 1, 2 and GOMAXPROCS.
+func TestFreqBackwardDeterministicAcrossWorkers(t *testing.T) {
+	r := tensor.NewRNG(37)
+	x := data.ActivationTensor(r, 2, 8, 16, 16, 0.5, 1.0)
+	dyBN := tensor.New(2, 8, 16, 16)
+	dyBN.FillNormal(r, 0, 1)
+	dyCV := tensor.New(2, 12, 16, 16)
+	dyCV.FillNormal(r, 0, 1)
+
+	run := func() []float32 {
+		var out []float32
+		b := NewBatchNorm("bn", 8)
+		b.Forward(&ActRef{Name: "x", Kind: compress.KindConv, T: x.Clone()}, true)
+		attachPlane(b.in)
+		dx := b.Backward(dyBN)
+		out = append(out, dx.Data...)
+		out = append(out, b.Beta.Grad.Data...)
+		out = append(out, b.Gamma.Grad.Data...)
+		ReleaseCoefficients([]*ActRef{b.in})
+
+		rw := tensor.NewRNG(41)
+		c := NewConv2D("c", 8, 12, 1, ConvOpts{}, rw)
+		c.Forward(&ActRef{Name: "x", Kind: compress.KindConv, T: x.Clone()}, true)
+		attachPlane(c.in)
+		dxc := c.Backward(dyCV)
+		out = append(out, dxc.Data...)
+		out = append(out, c.Weight.Grad.Data...)
+		ReleaseCoefficients([]*ActRef{c.in})
+		return out
+	}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	ref := run()
+	for _, w := range []int{2, prev} {
+		parallel.SetWorkers(w)
+		got := run()
+		for i := range ref {
+			if math.Float32bits(got[i]) != math.Float32bits(ref[i]) {
+				t.Fatalf("workers=%d: output %d differs (%v vs %v)", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestSpatialFallbackFromPlane pins the defensive path: a consumer that
+// cannot use an attached plane materializes the spatial tensor and
+// produces exactly what a spatial restore would have.
+func TestSpatialFallbackFromPlane(t *testing.T) {
+	r := tensor.NewRNG(43)
+	x := data.ActivationTensor(r, 1, 4, 16, 16, 0.5, 1.0)
+	dy := tensor.New(1, 6, 16, 16)
+	dy.FillNormal(r, 0, 1)
+
+	run := func(plane bool) []float32 {
+		rw := tensor.NewRNG(47)
+		// 3×3 conv: never a coefficient consumer, must fall back.
+		c := NewConv2D("c", 4, 6, 3, ConvOpts{Pad: 1}, rw)
+		c.Forward(&ActRef{Name: "x", Kind: compress.KindConv, T: x.Clone()}, true)
+		if plane {
+			attachPlane(c.in)
+		} else {
+			attachSpatial(c.in)
+		}
+		dx := c.Backward(dy)
+		if c.in.Coef != nil {
+			t.Fatal("fallback must consume and release the plane")
+		}
+		return append(append([]float32{}, dx.Data...), c.Weight.Grad.Data...)
+	}
+	want := run(false)
+	got := run(true)
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("elem %d: fallback %v, spatial %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+
+	"jpegact/internal/coding"
+	"jpegact/internal/compress"
+	"jpegact/internal/dct"
+	"jpegact/internal/frame"
+	"jpegact/internal/freqdomain"
+	"jpegact/internal/tensor"
+)
+
+// ErrNoCoefficients reports that a frame has no quantized-coefficient
+// representation — only JPEG-ACT frames carry DCT blocks. Callers fall
+// back to the full Decode path.
+var ErrNoCoefficients = errors.New("codec: frame has no coefficient representation")
+
+// DecodeCoefficients decodes a JPEG-ACT frame only as far as its
+// quantized coefficient blocks, skipping the inverse DCT and the spatial
+// tensor entirely. The blocks land in a pooled slice borrowed from the
+// compress scratch pool; the returned plane owns it and Release hands it
+// back. Frames of any other codec return ErrNoCoefficients. Like Decode,
+// this is a pure deterministic function of (DQT, S, frame).
+func (p Pipeline) DecodeCoefficients(f *frame.Frame) (*freqdomain.Plane, error) {
+	if f.Codec != frame.CodecJPEG {
+		return nil, ErrNoCoefficients
+	}
+	if len(f.Scales) != f.Shape.C {
+		return nil, fmt.Errorf("%w: %d scales for %d channels", frame.ErrHeader, len(f.Scales), f.Shape.C)
+	}
+	info := tensor.BlockPadInfo(f.Shape, dct.BlockSize)
+	blocks := compress.BorrowBlocks(info.PaddedElems() / 64)
+	if err := coding.DecodeZVCBlocksInto(blocks, f.Payload); err != nil {
+		compress.ReleaseBlocks(blocks)
+		return nil, err
+	}
+	return freqdomain.NewPlane(blocks, f.Scales, info, p.DQT, true, p.S), nil
+}

@@ -1,0 +1,45 @@
+package codec
+
+import (
+	"testing"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/data"
+	"jpegact/internal/frame"
+	"jpegact/internal/quant"
+	"jpegact/internal/tensor"
+)
+
+// FuzzDecodeCoefficients feeds arbitrary container bytes through the
+// frame decoder into the coefficient path. Malformed input must never
+// panic and must never leak a pooled block slice: every error exit in
+// DecodeCoefficients releases the borrowed blocks, and the success exit
+// hands ownership to the plane, which we release here.
+func FuzzDecodeCoefficients(f *testing.F) {
+	r := tensor.NewRNG(9)
+	x := data.ActivationTensor(r, 1, 2, 16, 16, 0.5, 1.0)
+	p := New(quant.OptL())
+	enc, err := p.Encode(compress.KindConv, x)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := frame.EncodeFrame(enc.Frame)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		fr, err := frame.DecodeFrame(raw)
+		if err != nil {
+			return
+		}
+		pl, err := p.DecodeCoefficients(fr)
+		if err != nil {
+			return
+		}
+		if pl.Shape() != fr.Shape {
+			t.Fatalf("plane shape %v, frame shape %v", pl.Shape(), fr.Shape)
+		}
+		pl.Release()
+	})
+}

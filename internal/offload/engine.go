@@ -404,7 +404,7 @@ func (e *Engine) Restore(ref *nn.ActRef) error {
 	if !ok {
 		e.mu.Unlock()
 		// Already restored (shared ref), or replaced by a rebuild.
-		if ref.T != nil || ref.Mask != nil || repaired {
+		if ref.T != nil || ref.Mask != nil || ref.Coef != nil || repaired {
 			return nil
 		}
 		return fmt.Errorf("offload: restore %q (%s): %w", ref.Name, ref.Kind, ErrNotStored)
@@ -440,7 +440,7 @@ func (e *Engine) Restore(ref *nn.ActRef) error {
 		repaired = e.repaired
 		e.mu.Unlock()
 		if !still {
-			if ref.T != nil || ref.Mask != nil || repaired {
+			if ref.T != nil || ref.Mask != nil || ref.Coef != nil || repaired {
 				return nil
 			}
 			return fmt.Errorf("offload: restore %q (%s): %w", ref.Name, ref.Kind, ErrNotStored)
@@ -451,12 +451,12 @@ func (e *Engine) Restore(ref *nn.ActRef) error {
 		e.release(pf, ft)
 		return e.escalate(ref, ft.ent, ft.err)
 	}
-	t, derr := s.pipeline().Decode(ft.staged)
+	t, pl, derr := s.decodeFrame(ref, ft.staged)
 	if derr != nil {
 		e.release(pf, ft)
 		return e.escalate(ref, ft.ent, derr)
 	}
-	s.finishRestore(ref, ft.ent, t)
+	s.finishRestore(ref, ft.ent, t, pl)
 	e.release(pf, ft)
 	return nil
 }
@@ -529,8 +529,8 @@ func (e *Engine) consumeLeftover(ft *fetchTask) {
 	if !still || cur != ft.ent {
 		return
 	}
-	if t, err := s.pipeline().Decode(ft.staged); err == nil {
-		s.finishRestore(ft.ref, ft.ent, t)
+	if t, pl, err := s.decodeFrame(ft.ref, ft.staged); err == nil {
+		s.finishRestore(ft.ref, ft.ent, t, pl)
 	}
 }
 

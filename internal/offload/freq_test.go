@@ -1,0 +1,154 @@
+package offload
+
+import (
+	"math"
+	"testing"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/data"
+	"jpegact/internal/nn"
+	"jpegact/internal/quant"
+	"jpegact/internal/tensor"
+)
+
+func freqRefs(t *testing.T) (planned, spatial, small *nn.ActRef) {
+	t.Helper()
+	r := tensor.NewRNG(51)
+	planned = &nn.ActRef{Name: "planned", Kind: compress.KindConv,
+		T: data.ActivationTensor(r, 1, 4, 16, 16, 0.5, 1.0)}
+	spatial = &nn.ActRef{Name: "spatial", Kind: compress.KindConv,
+		T: data.ActivationTensor(r, 1, 4, 16, 16, 0.5, 1.0)}
+	// Small enough that the codec routes it to ZVC even though the plan
+	// covers it — the fallback-within-the-plan case.
+	sm := tensor.New(1, 2, 4, 4)
+	sm.FillNormal(r, 0, 1)
+	small = &nn.ActRef{Name: "small", Kind: compress.KindPoolDropout, T: sm}
+	return planned, spatial, small
+}
+
+// TestStoreCoefRestore pins the synchronous coefficient restore: a
+// planned ref comes back as a plane whose reconstruction matches the
+// full decode bit for bit; unplanned refs and non-JPEG frames take the
+// spatial path; the stats count exactly the coefficient restores.
+func TestStoreCoefRestore(t *testing.T) {
+	planned, spatial, small := freqRefs(t)
+	want := planned.T.Clone()
+
+	s := NewStore(quant.OptL())
+	s.CoefPlan = func(ref *nn.ActRef) bool { return ref == planned || ref == small }
+	for _, ref := range []*nn.ActRef{planned, spatial, small} {
+		if err := s.Offload(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RestoreAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	if planned.Coef == nil || planned.T != nil {
+		t.Fatalf("planned ref must restore as a plane (Coef=%v, T=%v)", planned.Coef, planned.T)
+	}
+	if spatial.Coef != nil || spatial.T == nil {
+		t.Fatal("unplanned ref must restore spatially")
+	}
+	if small.Coef != nil || small.T == nil {
+		t.Fatal("planned non-JPEG frame must fall back to the spatial decode")
+	}
+	st := s.Stats()
+	if st.CoefRestores != 1 {
+		t.Fatalf("CoefRestores = %d, want 1", st.CoefRestores)
+	}
+	if st.Restored != 3 {
+		t.Fatalf("Restored = %d, want 3", st.Restored)
+	}
+
+	// The plane's spatial fallback must match what a plain store decode
+	// of the identical tensor produces.
+	s2 := NewStore(quant.OptL())
+	ref2 := &nn.ActRef{Name: "ref2", Kind: compress.KindConv, T: want}
+	if err := s2.Offload(ref2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Restore(ref2); err != nil {
+		t.Fatal(err)
+	}
+	got := planned.Coef.Reconstruct()
+	for i := range ref2.T.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(ref2.T.Data[i]) {
+			t.Fatalf("elem %d: plane %v, spatial decode %v", i, got.Data[i], ref2.T.Data[i])
+		}
+	}
+	nn.ReleaseCoefficients([]*nn.ActRef{planned})
+}
+
+// TestEngineCoefRestore pins the async path: the prefetcher stages the
+// frame and the consumer decode attaches a plane; a second Restore of
+// the ref (shared-consumer pattern) is a no-op.
+func TestEngineCoefRestore(t *testing.T) {
+	planned, spatial, small := freqRefs(t)
+
+	s := NewStore(quant.OptL())
+	s.CoefPlan = func(ref *nn.ActRef) bool { return ref == planned }
+	e := NewEngine(s, EngineConfig{Async: true, Prefetch: 2})
+	defer e.Close()
+
+	e.BeginStep()
+	if _, _, err := e.EndForward([]*nn.ActRef{planned, spatial, small}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PrepareBackward(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range []*nn.ActRef{small, spatial, planned} {
+		if err := e.Restore(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if planned.Coef == nil || planned.T != nil {
+		t.Fatal("planned ref must restore as a plane through the engine")
+	}
+	if spatial.T == nil || spatial.Coef != nil {
+		t.Fatal("unplanned ref must restore spatially through the engine")
+	}
+	// Second restore of an already-plane-restored ref must resolve clean.
+	if err := e.Restore(planned); err != nil {
+		t.Fatalf("re-restore of plane-restored ref: %v", err)
+	}
+	if err := e.EndStep(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.CoefRestores != 1 {
+		t.Fatalf("CoefRestores = %d, want 1", st.CoefRestores)
+	}
+	nn.ReleaseCoefficients([]*nn.ActRef{planned})
+}
+
+// TestEngineCoefLeftover pins EndStep's flush path: a planned ref the
+// backward pass never asked for is still restored as a plane.
+func TestEngineCoefLeftover(t *testing.T) {
+	planned, spatial, _ := freqRefs(t)
+
+	s := NewStore(quant.OptL())
+	s.CoefPlan = func(ref *nn.ActRef) bool { return ref == planned }
+	e := NewEngine(s, EngineConfig{Async: true, Prefetch: 2})
+	defer e.Close()
+
+	e.BeginStep()
+	if _, _, err := e.EndForward([]*nn.ActRef{planned, spatial}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PrepareBackward(); err != nil {
+		t.Fatal(err)
+	}
+	// Consume nothing; EndStep must drain both, honouring the plan.
+	if err := e.EndStep(); err != nil {
+		t.Fatal(err)
+	}
+	if planned.Coef == nil || spatial.T == nil {
+		t.Fatal("EndStep drain must honour the coefficient plan")
+	}
+	if st := s.Stats(); st.CoefRestores != 1 {
+		t.Fatalf("CoefRestores = %d, want 1", st.CoefRestores)
+	}
+	nn.ReleaseCoefficients([]*nn.ActRef{planned})
+}

@@ -34,6 +34,7 @@ import (
 
 	"jpegact/internal/dct"
 	"jpegact/internal/frame"
+	"jpegact/internal/freqdomain"
 	"jpegact/internal/nn"
 	"jpegact/internal/offload/codec"
 	"jpegact/internal/offload/transport"
@@ -118,6 +119,10 @@ type Stats struct {
 	Retried    uint64 // channel re-reads attempted
 	Recomputed uint64 // corruptions resolved by the Recompute hook
 	Dropped    uint64 // transfers that yielded no bytes (counted within Corrupted too)
+	// CoefRestores counts restores served by the frequency-domain path
+	// (a coefficient plane attached instead of a decoded tensor); the
+	// remainder of Restored went through the full spatial decode.
+	CoefRestores uint64
 	// BytesOffloaded / BytesVerified total the frame bytes written to,
 	// and CRC-verified back from, host memory.
 	BytesOffloaded int64
@@ -147,6 +152,13 @@ type Store struct {
 	// Sleep is injected into the retry/backoff path (nil = time.Sleep);
 	// tests install a recording clock so recovery never real-sleeps.
 	Sleep func(time.Duration)
+	// CoefPlan, when non-nil, marks the refs whose restore may be served
+	// as a quantized-coefficient plane (ref.Coef) instead of a decoded
+	// tensor. The trainer computes it from nn.CoefficientPlan — only refs
+	// whose every consumer opted in qualify — and clears it each step.
+	// Refs outside the plan (and non-JPEG frames within it) take the full
+	// spatial decode, unchanged.
+	CoefPlan func(ref *nn.ActRef) bool
 
 	mu        sync.Mutex
 	entries   map[*nn.ActRef]*entry
@@ -155,6 +167,7 @@ type Store struct {
 
 	offloaded      atomic.Uint64
 	restored       atomic.Uint64
+	coefRestored   atomic.Uint64
 	recomputed     atomic.Uint64
 	bytesOffloaded atomic.Int64
 	tstats         transport.Stats
@@ -209,6 +222,7 @@ func (s *Store) Stats() Stats {
 	out := Stats{
 		Offloaded:      s.offloaded.Load(),
 		Restored:       s.restored.Load(),
+		CoefRestores:   s.coefRestored.Load(),
 		Recomputed:     s.recomputed.Load(),
 		BytesOffloaded: s.bytesOffloaded.Load(),
 	}
@@ -277,20 +291,45 @@ func (s *Store) read(e *entry) (*frame.Frame, error) {
 	return s.transportView().Read(e.buf)
 }
 
-// fetch reads and decodes the entry into a staged tensor.
-func (s *Store) fetch(e *entry) (*tensor.Tensor, error) {
-	f, err := s.read(e)
-	if err != nil {
-		return nil, err
+// decodeFrame turns a verified frame into the ref's restored form:
+// a coefficient plane when the ref is in the coefficient plan and the
+// frame carries DCT blocks, the fully decoded tensor otherwise. A frame
+// the plan covers but that the codec routed elsewhere (ZVC, BRC) falls
+// back to the full decode — capability never overrides the Table II
+// policy. Decode errors surface for the recovery policy either way.
+func (s *Store) decodeFrame(ref *nn.ActRef, f *frame.Frame) (*tensor.Tensor, *freqdomain.Plane, error) {
+	if s.CoefPlan != nil && s.CoefPlan(ref) {
+		pl, err := s.pipeline().DecodeCoefficients(f)
+		if err == nil {
+			return nil, pl, nil
+		}
+		if !errors.Is(err, codec.ErrNoCoefficients) {
+			return nil, nil, err
+		}
 	}
-	return s.pipeline().Decode(f)
+	t, err := s.pipeline().Decode(f)
+	return t, nil, err
 }
 
-// finishRestore attaches the staged tensor (nil for BRC refs, whose
-// mask is already attached) and frees the host copy.
-func (s *Store) finishRestore(ref *nn.ActRef, e *entry, t *tensor.Tensor) {
+// fetch reads and decodes the entry into a staged tensor or plane.
+func (s *Store) fetch(e *entry, ref *nn.ActRef) (*tensor.Tensor, *freqdomain.Plane, error) {
+	f, err := s.read(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.decodeFrame(ref, f)
+}
+
+// finishRestore attaches the staged tensor or coefficient plane (both
+// nil for BRC refs, whose mask is already attached) and frees the host
+// copy.
+func (s *Store) finishRestore(ref *nn.ActRef, e *entry, t *tensor.Tensor, pl *freqdomain.Plane) {
 	if t != nil {
 		ref.T = t
+	}
+	if pl != nil {
+		ref.Coef = pl
+		s.coefRestored.Add(1)
 	}
 	s.mu.Lock()
 	delete(s.entries, ref)
@@ -343,11 +382,11 @@ func (s *Store) Restore(ref *nn.ActRef) error {
 	if !ok {
 		return fmt.Errorf("offload: restore %q (%s): %w", ref.Name, ref.Kind, ErrNotStored)
 	}
-	t, err := s.fetch(e)
+	t, pl, err := s.fetch(e, ref)
 	if err != nil {
 		return s.recover(ref, e, err)
 	}
-	s.finishRestore(ref, e, t)
+	s.finishRestore(ref, e, t, pl)
 	return nil
 }
 

@@ -62,6 +62,14 @@ type OffloadOptions struct {
 	// InFlightBytes bounds the encoded-but-uncommitted bytes held by
 	// the async encode workers (0 = unlimited).
 	InFlightBytes int
+	// FreqDomain enables the frequency-domain restore path: saved
+	// activations whose every consumer can read quantized DCT
+	// coefficients directly (nn.CoefficientPlan) are restored as
+	// coefficient planes, skipping the inverse transform. Layers outside
+	// the plan restore spatially, unchanged; gradients differ from the
+	// spatial path only within the documented tolerance (DESIGN.md
+	// "Frequency-domain restore").
+	FreqDomain bool
 	// Verbose prints per-epoch fault counters from the training loop.
 	Verbose bool
 }
@@ -117,7 +125,7 @@ func ClassifierOffloaded(m *models.Model, ds *data.Classification, cfg Config, o
 		var origSum, compSum int
 		for b := 0; b < cfg.BatchesPerEpoch; b++ {
 			x, labels := ds.Batch(cfg.BatchSize)
-			loss, o, c, err := offloadedStep(m, eng, x, labels, oc.MaxRecompute)
+			loss, o, c, err := offloadedStep(m, eng, x, labels, oc.MaxRecompute, oc.FreqDomain)
 			if err != nil {
 				return rep, store.Stats(), err
 			}
@@ -163,7 +171,7 @@ type restoreAbort struct{ err error }
 // forward (streaming saved refs to the engine in async mode) → barrier
 // on the offload traffic → backward, restoring activations on demand or
 // ahead of it via the prefetcher.
-func offloadedStep(m *models.Model, eng *offload.Engine, x *tensor.Tensor, labels []int, maxRecompute int) (loss float64, orig, comp int, err error) {
+func offloadedStep(m *models.Model, eng *offload.Engine, x *tensor.Tensor, labels []int, maxRecompute int, freq bool) (loss float64, orig, comp int, err error) {
 	store := eng.Store()
 	// Snapshot forward side effects (BN running stats, dropout RNG)
 	// before the pass, so a corruption-triggered replay is bit-exact.
@@ -178,6 +186,20 @@ func offloadedStep(m *models.Model, eng *offload.Engine, x *tensor.Tensor, label
 	out := m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: x}, true)
 	var grad *tensor.Tensor
 	loss, grad = nn.SoftmaxCrossEntropy(out.T, labels)
+
+	if freq {
+		// The coefficient plan is computed once per step from the refs
+		// this forward produced; refs a recompute rebuild creates later
+		// are absent from it and safely restore spatially. The plan and
+		// any planes still attached at step end (error exits included)
+		// are torn down before the next step.
+		plan := nn.CoefficientPlan(m.Net)
+		store.CoefPlan = func(ref *nn.ActRef) bool { return plan[ref] }
+		defer func() {
+			store.CoefPlan = nil
+			nn.ReleaseCoefficients(m.Net.SavedRefs())
+		}()
+	}
 
 	recomputes := 0
 	if store.Recovery.Policy == offload.PolicyRecompute {

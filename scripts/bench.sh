@@ -42,3 +42,14 @@ for procs in 1 "$(nproc)"; do
     -bench "$kbench" ./... | tee -a "$kout"
 done
 echo "wrote $kout (cores=$(nproc)); merge into BENCH_kernels.json by hand"
+
+# Frequency-domain restore: the spatial vs coefficient-path backward pair
+# (BN + 1x1 conv over offload-restored activations) plus the TrainStep
+# guard showing the opt-in path costs nothing when disabled. The
+# committed BENCH_dctdomain.json pairs a full-decode baseline run with
+# the coefficient-path numbers from the same machine.
+dout="BENCH_dctdomain.${label}.txt"
+go test -run '^$' -benchtime=20x -benchmem \
+  -bench 'BenchmarkBackwardSpatial$|BenchmarkBackwardFreqDomain$|BenchmarkTrainStep$' \
+  . ./internal/nn | tee "$dout"
+echo "wrote $dout; merge before/after into BENCH_dctdomain.json by hand"
