@@ -38,10 +38,11 @@ bench-offload:
 # Fuzz sweep: every decoder fuzz target for 10s each. Go runs one fuzz
 # target per invocation, so loop over the discovered names in each fuzzed
 # package. The decoders facing untrusted bytes — the offload container
-# (FuzzDecodeFrame) and the coefficient-plane restore
-# (FuzzDecodeCoefficients) — must survive arbitrary input without a panic.
+# (FuzzDecodeFrame), the coefficient-plane restore
+# (FuzzDecodeCoefficients) and the activation-store request path
+# (FuzzNetstoreRequest) — must survive arbitrary input without a panic.
 FUZZTIME ?= 10s
-FUZZPKGS = ./internal/coding/ ./internal/offload/codec/
+FUZZPKGS = ./internal/coding/ ./internal/offload/codec/ ./internal/offload/netstore/
 .PHONY: fuzz
 fuzz:
 	@for pkg in $(FUZZPKGS); do \

@@ -1,0 +1,75 @@
+// Command actstore runs the sharded networked activation store: one
+// process that N training or inference clients share as their offload
+// target over the wire protocol of internal/offload/transport. Point
+// trainers at it with acttrain -store or benchmark it with
+// offloadbench -net -addr.
+//
+//	actstore -addr unix:/tmp/actstore.sock -shards 8
+//	actstore -addr tcp:0.0.0.0:7077 -metrics 127.0.0.1:9090
+//
+// With -metrics set, the unified counter snapshot (the same one the
+// wire STATS op returns) is served Prometheus-text-style on /metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"jpegact/internal/offload/netstore"
+)
+
+func main() {
+	addr := flag.String("addr", "unix:/tmp/actstore.sock", "listen address (unix:/path or tcp:host:port)")
+	shards := flag.Int("shards", netstore.DefaultShards, "in-memory store shards (lock-contention granularity)")
+	inflight := flag.Int("inflight", netstore.DefaultInFlightBytes, "per-connection response byte budget (backpressure)")
+	metrics := flag.String("metrics", "", "HTTP listen address for /metrics (empty = disabled)")
+	verbose := flag.Bool("v", false, "log connection lifecycle and protocol errors")
+	flag.Parse()
+
+	cfg := netstore.Config{Shards: *shards, InFlightBytes: *inflight}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv := netstore.New(cfg)
+
+	ln, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "actstore:", err)
+		os.Exit(1)
+	}
+	log.Printf("actstore: serving on %s (shards=%d inflight=%d)", *addr, *shards, *inflight)
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		go func() {
+			log.Printf("actstore: metrics on http://%s/metrics", *metrics)
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				log.Printf("actstore: metrics: %v", err)
+			}
+		}()
+	}
+
+	// Close the listener and drain live connections on SIGINT/SIGTERM so
+	// a unix socket path never leaks past the process.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("actstore: %v: shutting down", s)
+		srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "actstore:", err)
+		os.Exit(1)
+	}
+	snap := srv.Snapshot()
+	log.Printf("actstore: done: offloaded=%d restored=%d coef=%d corrupted=%d entries=%d",
+		snap.Offloaded, snap.Restored, snap.CoefRestores, snap.Corrupted, srv.Entries())
+}

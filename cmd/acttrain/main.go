@@ -17,6 +17,12 @@
 //
 //	acttrain -model ResNet18 -offload -flip 1e-5 -policy recompute
 //	acttrain -model ResNet18 -offload -async -prefetch 4 -inflight 262144
+//
+// With -store the offload traffic targets a shared networked activation
+// store (cmd/actstore) instead of the in-process channel; -store-key
+// namespaces this trainer's keys when several share one server:
+//
+//	acttrain -model ResNet18 -offload -async -store unix:/tmp/actstore.sock -store-key 1
 package main
 
 import (
@@ -81,6 +87,10 @@ func main() {
 		"with -async: in-flight encoded byte budget (0 = unlimited)")
 	freq := flag.Bool("freq", false,
 		"with -offload: restore qualifying activations as DCT coefficient planes (skip the inverse transform)")
+	store := flag.String("store", "",
+		"with -offload: networked activation-store address (unix:/path or tcp:host:port; see cmd/actstore)")
+	storeKey := flag.Uint64("store-key", 0,
+		"with -store: client id namespacing this trainer's keys on the shared store (keys become id<<32 | seq)")
 	flag.Parse()
 
 	m, ok := methodByName(*method)
@@ -96,8 +106,12 @@ func main() {
 
 	if *useOffload {
 		runOffloaded(*model, sc, cfg, *seed, *policy, *flip, *trunc, *drop, *faultSeed,
-			*maxRecompute, *async, *prefetch, *inflight, *freq)
+			*maxRecompute, *async, *prefetch, *inflight, *freq, *store, *storeKey)
 		return
+	}
+	if *store != "" {
+		fmt.Fprintln(os.Stderr, "acttrain: -store requires -offload")
+		os.Exit(2)
 	}
 
 	var rep jpegact.TrainReport
@@ -133,7 +147,7 @@ func main() {
 
 // runOffloaded trains over the real host-memory channel, optionally
 // fault-injected, and reports the store's recovery counters.
-func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, seed uint64, policy string, flip, trunc, drop float64, faultSeed uint64, maxRecompute int, async bool, prefetch, inflight int, freq bool) {
+func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, seed uint64, policy string, flip, trunc, drop float64, faultSeed uint64, maxRecompute int, async bool, prefetch, inflight int, freq bool, store string, storeKey uint64) {
 	if model == "VDSR" {
 		fmt.Fprintln(os.Stderr, "acttrain: -offload supports the classification models only")
 		os.Exit(2)
@@ -152,7 +166,11 @@ func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, 
 	}
 	oc := jpegact.OffloadTrainOptions{
 		DQT: jpegact.OptL(), Policy: pol, MaxRecompute: maxRecompute, Verbose: true,
-		FreqDomain: freq,
+		FreqDomain: freq, StoreAddr: store, StoreKeyBase: storeKey << 32,
+	}
+	if store != "" && (flip > 0 || trunc > 0 || drop > 0) {
+		fmt.Fprintln(os.Stderr, "acttrain: -flip/-trunc/-drop inject on the in-process channel; they have no effect with -store")
+		os.Exit(2)
 	}
 	if async {
 		oc.Async = true
@@ -179,9 +197,9 @@ func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, 
 	for _, e := range rep.Epochs {
 		fmt.Printf("%-6d %-9.4f %-9.4f %-8.2f\n", e.Epoch, e.Loss, e.Score, e.CompressionRatio)
 	}
-	fmt.Printf("channel: offloaded=%d restored=%d corrupted=%d retried=%d recomputed=%d dropped=%d verified=%dB\n",
+	fmt.Printf("channel: offloaded=%d restored=%d corrupted=%d retried=%d recomputed=%d dropped=%d reconnects=%d verified=%dB\n",
 		stats.Offloaded, stats.Restored, stats.Corrupted, stats.Retried,
-		stats.Recomputed, stats.Dropped, stats.BytesVerified)
+		stats.Recomputed, stats.Dropped, stats.Reconnects, stats.BytesVerified)
 	if freq && stats.Restored > 0 {
 		fmt.Printf("freq: coef_restores=%d/%d (%.1f%%)\n", stats.CoefRestores, stats.Restored,
 			100*float64(stats.CoefRestores)/float64(stats.Restored))

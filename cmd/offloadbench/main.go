@@ -63,6 +63,8 @@ type modeResult struct {
 	Restored     uint64  `json:"restored,omitempty"`
 	CoefRestores uint64  `json:"coef_restores,omitempty"`
 	CoefFraction float64 `json:"coef_fraction,omitempty"`
+
+	stats offload.Stats // full counter snapshot, for the net-mode report
 }
 
 type report struct {
@@ -81,8 +83,9 @@ type report struct {
 // each step: forward (with streaming save hooks in async mode), the
 // commit barrier, restore preparation, backward and the optimizer
 // update. No evaluation pass pollutes the timing — this measures the
-// training step alone, where the overlap lives.
-func runMode(mode string, cfg offload.EngineConfig, freq bool, steps, batch, width int, ch *simChannel) modeResult {
+// training step alone, where the overlap lives. setup configures the
+// store's byte path (simulated DMA channel, or a netstore client).
+func runMode(mode string, cfg offload.EngineConfig, freq bool, steps, batch, width int, setup func(*offload.Store)) modeResult {
 	m := models.ResNet18(models.Scale{Width: width, Blocks: 1}, 2, tensor.NewRNG(42))
 	ds := data.NewClassification(data.ClassificationConfig{
 		Classes: 2, Channels: 3, H: 16, W: 16, Seed: 43,
@@ -90,7 +93,10 @@ func runMode(mode string, cfg offload.EngineConfig, freq bool, steps, batch, wid
 	opt := nn.NewSGD(0.05, 0.9, 0)
 
 	store := offload.NewStore(quant.OptL())
-	store.Channel = ch
+	if setup != nil {
+		setup(store)
+	}
+	defer store.Close()
 	eng := offload.NewEngine(store, cfg)
 	defer eng.Close()
 
@@ -143,8 +149,9 @@ func runMode(mode string, cfg offload.EngineConfig, freq bool, steps, batch, wid
 	sort.Float64s(sorted)
 	res.MSPerStep = sorted[len(sorted)/2]
 	res.MSPerStepP0 = sorted[0]
+	res.stats = store.Stats()
 	if freq {
-		st := store.Stats()
+		st := res.stats
 		res.Restored = st.Restored
 		res.CoefRestores = st.CoefRestores
 		if st.Restored > 0 {
@@ -165,38 +172,63 @@ func fatal(mode string, err error) {
 	os.Exit(1)
 }
 
+// ensureProcs gives the runtime the second P the async overlap
+// measurement needs (transfer completions must be serviceable while the
+// compute goroutine holds a CPU, like a real DMA engine beside the
+// cores). A GOMAXPROCS=1 pinned in the environment is refused loudly —
+// silently overriding the user's pin would time a configuration they
+// explicitly ruled out, and silently keeping it would serialize the
+// pipeline and report a meaningless overlap.
+func ensureProcs() int {
+	if runtime.GOMAXPROCS(0) >= 2 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if env := os.Getenv("GOMAXPROCS"); env != "" {
+		fmt.Fprintf(os.Stderr, "offloadbench: GOMAXPROCS=%s pins the runtime to one P; the async overlap measurement is meaningless without a second one.\n", env)
+		fmt.Fprintln(os.Stderr, "offloadbench: unset GOMAXPROCS or set it >= 2 and re-run.")
+		os.Exit(2)
+	}
+	runtime.GOMAXPROCS(2)
+	return runtime.GOMAXPROCS(0)
+}
+
 func main() {
 	steps := flag.Int("steps", 16, "training steps to time")
 	batch := flag.Int("batch", 8, "batch size")
 	width := flag.Int("width", 10, "model base width")
 	latency := flag.Duration("latency", time.Millisecond, "per-transfer DMA latency")
 	gbps := flag.Float64("bandwidth", 2, "channel bandwidth in GB/s")
+	netMode := flag.Bool("net", false, "benchmark the networked activation store instead of the simulated DMA channel")
+	clients := flag.String("clients", "1,2,4", "comma-separated client counts for the -net sweep")
+	addr := flag.String("addr", "", "activation-store address for -net (unix:/path or tcp:host:port; empty starts an in-process server on a unix socket)")
+	shards := flag.Int("shards", 0, "shard count for the in-process -net server (0 = default)")
 	flag.Parse()
 
-	// The simulated channel is I/O, not compute: a transfer completion
-	// must be serviceable while the compute goroutine holds the CPU, just
-	// as a real DMA engine runs beside the cores. At GOMAXPROCS=1 the Go
-	// scheduler parks expired channel timers behind the compute
-	// goroutine's ~10ms preemption quantum, serializing the pipeline, so
-	// give the runtime a second P (sleeping transfers burn no CPU).
-	if runtime.GOMAXPROCS(0) < 2 {
-		runtime.GOMAXPROCS(2)
+	procs := ensureProcs()
+	const prefetch = 4
+	fmt.Fprintf(os.Stderr, "offloadbench: gomaxprocs=%d workers=%d prefetch=%d steps=%d batch=%d width=%d\n",
+		procs, procs, prefetch, *steps, *batch, *width)
+
+	if *netMode {
+		runNetBench(*addr, *clients, *shards, *steps, *batch, *width, procs, prefetch)
+		return
 	}
 
 	ch := &simChannel{latency: *latency, bps: *gbps * 1e9}
+	simSetup := func(s *offload.Store) { s.Channel = ch }
 	rep := report{
 		Benchmark:     "offload_step_walltime",
 		Model:         fmt.Sprintf("ResNet18/w%d", *width),
 		BatchSize:     *batch,
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		GOMAXPROCS:    procs,
 		LatencyUS:     float64(latency.Microseconds()),
 		BandwidthGBps: *gbps,
 	}
 	rep.Results = append(rep.Results,
-		runMode("sync", offload.EngineConfig{}, false, *steps, *batch, *width, ch),
-		runMode("async-ondemand", offload.EngineConfig{Async: true}, false, *steps, *batch, *width, ch),
-		runMode("async-prefetch", offload.EngineConfig{Async: true, Prefetch: 4}, false, *steps, *batch, *width, ch),
-		runMode("async-prefetch-freq", offload.EngineConfig{Async: true, Prefetch: 4}, true, *steps, *batch, *width, ch),
+		runMode("sync", offload.EngineConfig{}, false, *steps, *batch, *width, simSetup),
+		runMode("async-ondemand", offload.EngineConfig{Async: true}, false, *steps, *batch, *width, simSetup),
+		runMode("async-prefetch", offload.EngineConfig{Async: true, Prefetch: prefetch}, false, *steps, *batch, *width, simSetup),
+		runMode("async-prefetch-freq", offload.EngineConfig{Async: true, Prefetch: prefetch}, true, *steps, *batch, *width, simSetup),
 	)
 
 	// Best-of-steps, not median: on a shared machine the minimum is the

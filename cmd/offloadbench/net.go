@@ -1,0 +1,210 @@
+package main
+
+// The -net mode: multi-client load against the networked activation
+// store. Each client is a full offloaded training loop (async engine,
+// prefetch) whose store talks to the server over the wire protocol; the
+// sweep scales the client count and reports aggregate throughput plus
+// request-latency percentiles. All clients run the same seeds, so every
+// trajectory must match a local in-process reference run bit for bit —
+// the transport may only change timing, never bytes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"jpegact/internal/offload"
+	"jpegact/internal/offload/netstore"
+	"jpegact/internal/offload/transport"
+)
+
+// latCollector gathers per-request wall-clock latencies from the
+// NetClient hooks of every concurrent client.
+type latCollector struct {
+	mu sync.Mutex
+	us []float64
+}
+
+func (l *latCollector) observe(_ uint8, d time.Duration) {
+	us := float64(d.Nanoseconds()) / 1e3
+	l.mu.Lock()
+	l.us = append(l.us, us)
+	l.mu.Unlock()
+}
+
+func (l *latCollector) percentiles() (n int, p50, p95, p99 float64) {
+	l.mu.Lock()
+	us := append([]float64(nil), l.us...)
+	l.mu.Unlock()
+	sort.Float64s(us)
+	pct := func(p float64) float64 {
+		if len(us) == 0 {
+			return 0
+		}
+		i := int(p*float64(len(us)-1) + 0.5)
+		return us[i]
+	}
+	return len(us), pct(.50), pct(.95), pct(.99)
+}
+
+type netClientsResult struct {
+	Clients        int     `json:"clients"`
+	TotalMS        float64 `json:"total_ms"`
+	StepsPerSec    float64 `json:"steps_per_sec"`
+	ThroughputMBps float64 `json:"throughput_mb_per_s"` // frame bytes put + verified back, over the wall clock
+	Ops            int     `json:"ops"`
+	P50us          float64 `json:"latency_p50_us"`
+	P95us          float64 `json:"latency_p95_us"`
+	P99us          float64 `json:"latency_p99_us"`
+	Reconnects     uint64  `json:"reconnects"`
+}
+
+type netReport struct {
+	Benchmark       string             `json:"benchmark"`
+	Model           string             `json:"model"`
+	BatchSize       int                `json:"batch_size"`
+	Steps           int                `json:"steps"`
+	GOMAXPROCS      int                `json:"gomaxprocs"`
+	Workers         int                `json:"workers"`
+	Prefetch        int                `json:"prefetch"`
+	Addr            string             `json:"addr"`
+	Shards          int                `json:"shards"`
+	Results         []netClientsResult `json:"results"`
+	TrajectoryMatch bool               `json:"trajectory_match"`
+}
+
+func parseClients(spec string) []int {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			fatal("net", fmt.Errorf("bad -clients entry %q", part))
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		fatal("net", fmt.Errorf("-clients %q selects no client counts", spec))
+	}
+	return out
+}
+
+// runNetBench drives the client-count sweep and writes the JSON report
+// to stdout (scripts/bench.sh lands it in BENCH_netstore.json).
+func runNetBench(addr, clientsSpec string, shards, steps, batch, width, procs, prefetch int) {
+	external := addr != ""
+	if shards <= 0 {
+		shards = netstore.DefaultShards
+	}
+	var srv *netstore.Server
+	if !external {
+		tmp, err := os.MkdirTemp("", "actstore")
+		if err != nil {
+			fatal("net", err)
+		}
+		defer os.RemoveAll(tmp)
+		addr = "unix:" + filepath.Join(tmp, "store.sock")
+		srv = netstore.New(netstore.Config{Shards: shards})
+		ln, err := srv.Listen(addr)
+		if err != nil {
+			fatal("net", err)
+		}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+	dial, err := transport.DialAddr(addr)
+	if err != nil {
+		fatal("net", err)
+	}
+
+	cfg := offload.EngineConfig{Async: true, Prefetch: prefetch}
+	// Every client runs the same seeds, so the local run is the exact
+	// trajectory each of them must reproduce over the wire.
+	ref := runMode("local-ref", cfg, false, steps, batch, width, nil)
+
+	rep := netReport{
+		Benchmark:       "netstore_multiclient",
+		Model:           fmt.Sprintf("ResNet18/w%d", width),
+		BatchSize:       batch,
+		Steps:           steps,
+		GOMAXPROCS:      procs,
+		Workers:         procs,
+		Prefetch:        prefetch,
+		Addr:            addr,
+		Shards:          shards,
+		TrajectoryMatch: true,
+	}
+
+	for _, n := range parseClients(clientsSpec) {
+		col := &latCollector{}
+		results := make([]modeResult, n)
+		var reconnects uint64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		start := time.Now()
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				setup := func(s *offload.Store) {
+					c := transport.NewNetClient(dial, s.Counters())
+					c.Latency = col.observe
+					s.Transport = c
+					// Disjoint key spaces: concurrent clients must never
+					// collide on the shared server.
+					s.KeyBase = uint64(id+1) << 32
+				}
+				res := runMode(fmt.Sprintf("net-c%d-id%d", n, id), cfg, false, steps, batch, width, setup)
+				mu.Lock()
+				results[id] = res
+				reconnects += res.stats.Reconnects
+				mu.Unlock()
+			}(id)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+
+		var bytes int64
+		for _, res := range results {
+			bytes += res.stats.BytesOffloaded + res.stats.BytesVerified
+			for i, l := range res.Losses {
+				if l != ref.Losses[i] {
+					rep.TrajectoryMatch = false
+				}
+			}
+		}
+		ops, p50, p95, p99 := col.percentiles()
+		rep.Results = append(rep.Results, netClientsResult{
+			Clients:        n,
+			TotalMS:        float64(wall.Microseconds()) / 1e3,
+			StepsPerSec:    float64(n*steps) / wall.Seconds(),
+			ThroughputMBps: float64(bytes) / 1e6 / wall.Seconds(),
+			Ops:            ops,
+			P50us:          p50,
+			P95us:          p95,
+			P99us:          p99,
+			Reconnects:     reconnects,
+		})
+		fmt.Fprintf(os.Stderr, "offloadbench: net clients=%d wall=%v ops=%d p50=%.0fus p95=%.0fus p99=%.0fus\n",
+			n, wall.Round(time.Millisecond), ops, p50, p95, p99)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal("net", err)
+	}
+	if !rep.TrajectoryMatch {
+		fmt.Fprintln(os.Stderr, "offloadbench: a networked client diverged from the local trajectory")
+		os.Exit(1)
+	}
+}

@@ -243,7 +243,9 @@ func (e *Engine) drainCommits() {
 		delete(e.results, e.nextCommit)
 		e.mu.Unlock()
 		if res.err == nil {
-			e.store.commitEncoded(res.ref, res.data, res.mask)
+			if _, cerr := e.store.commitEncoded(res.ref, res.data, res.mask); cerr != nil {
+				res.err = cerr
+			}
 		}
 		e.mu.Lock()
 		if res.err != nil && e.firstErr == nil {
@@ -355,7 +357,7 @@ func (e *Engine) prefetchLoop(pf *prefetchState, gen int) {
 			continue
 		}
 
-		f, err := s.read(ft.ent)
+		f, err := s.read(ft.ent, ft.ref)
 		e.mu.Lock()
 		ft.staged, ft.err = f, err
 		ft.counted = true
@@ -479,7 +481,7 @@ func (e *Engine) escalate(ref *nn.ActRef, ent *entry, err error) error {
 			return fmt.Errorf("offload: restore %q (%s): %w: recompute failed: %v (original: %v)",
 				ref.Name, ref.Kind, ErrCorrupted, rerr, err)
 		}
-		s.recomputed.Add(1)
+		s.counters.Recomputed.Add(1)
 		s.dropIfCurrent(ref, ent)
 		e.mu.Lock()
 		e.repaired = true

@@ -93,8 +93,8 @@ func TestEngineInFlightBudget(t *testing.T) {
 	maxFrame := 0
 	s.mu.Lock()
 	for _, e := range s.entries {
-		if len(e.buf) > maxFrame {
-			maxFrame = len(e.buf)
+		if e.size > maxFrame {
+			maxFrame = e.size
 		}
 	}
 	s.mu.Unlock()

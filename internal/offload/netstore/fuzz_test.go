@@ -1,0 +1,74 @@
+package netstore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"jpegact/internal/frame"
+	"jpegact/internal/offload/transport"
+	"jpegact/internal/tensor"
+)
+
+// FuzzNetstoreRequest feeds arbitrary bytes through the server's request
+// decode and dispatch path — the exact surface a hostile or damaged
+// client can reach. The decoder must never panic, never allocate past
+// the wire cap, and every decoded request must produce a well-formed
+// response; PUT bodies that fail frame validation must never become
+// store state.
+func FuzzNetstoreRequest(f *testing.F) {
+	fr := &frame.Frame{
+		Codec:   frame.CodecZVC,
+		Shape:   tensor.Shape{N: 1, C: 1, H: 2, W: 2},
+		Scales:  []float32{1},
+		Payload: []byte{1, 2, 3, 4},
+	}
+	valid := frame.EncodeFrame(fr)
+
+	var put, get, del, stats bytes.Buffer
+	transport.WriteRequest(&put, transport.OpPut, 7, valid)
+	transport.WriteRequest(&get, transport.OpGetCoef, 7, nil)
+	transport.WriteRequest(&del, transport.OpDelete, 7, nil)
+	transport.WriteRequest(&stats, transport.OpStats, 0, nil)
+	f.Add(put.Bytes())
+	f.Add(append(put.Bytes(), get.Bytes()...))
+	f.Add(del.Bytes())
+	f.Add(stats.Bytes())
+	f.Add(put.Bytes()[:len(put.Bytes())/2]) // cut mid-frame
+	f.Add(put.Bytes()[:9])                  // truncated op header
+	f.Add([]byte{'J', 'Q', 99, 1})          // bad version
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		srv := New(Config{Shards: 2})
+		r := bytes.NewReader(raw)
+		for {
+			req, err := transport.ReadRequest(r)
+			if err != nil {
+				// io.EOF is a clean end-of-stream; anything else must be
+				// the typed wire error, which poisons the stream.
+				if err != io.EOF && !errors.Is(err, transport.ErrWire) {
+					t.Fatalf("untyped decode error: %v", err)
+				}
+				break
+			}
+			status, body := srv.handleRequest(req)
+			if status == transport.StatusOK && (req.Op == transport.OpGet || req.Op == transport.OpGetCoef) {
+				if _, err := frame.DecodeFrame(body); err != nil {
+					t.Fatalf("server served an invalid frame: %v", err)
+				}
+			}
+		}
+		// Whatever got stored must decode: corrupt PUTs are refused at the
+		// door, so resident state is valid frames only.
+		for _, sh := range srv.shards {
+			for _, b := range sh.entries {
+				if _, err := frame.DecodeFrame(b); err != nil {
+					t.Fatalf("corrupt bytes became store state: %v", err)
+				}
+			}
+		}
+	})
+}

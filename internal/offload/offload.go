@@ -12,24 +12,25 @@
 //
 //   - codec (internal/offload/codec): pure tensor↔frame compression,
 //     the CDU of the paper;
-//   - transport (internal/offload/transport): the GPU↔host byte path —
-//     framing, CRC validation, retry/backoff — the DMA engine;
+//   - transport (internal/offload/transport): the pluggable byte path —
+//     framing, CRC validation, retry — with an in-process channel
+//     backend (the DMA engine) and a wire client for the networked
+//     activation store (internal/offload/netstore);
 //   - scheduler (Engine, engine.go): the async pipeline that overlaps
 //     compression and transfers with forward/backward compute.
 //
 // Store is the bookkeeping core the layers meet at: it maps activation
-// refs to host entries and drives the synchronous (degenerate) path.
-// On corruption a configurable RecoveryPolicy decides whether to fail
-// with a typed error, re-read the channel, or recompute the activation
-// from scratch (gradient-checkpointing style, wired in by
-// internal/train).
+// refs to keyed transport entries and drives the synchronous
+// (degenerate) path. On corruption a configurable RecoveryPolicy decides
+// whether to fail with a typed error, re-read the transport, or
+// recompute the activation from scratch (gradient-checkpointing style,
+// wired in by internal/train).
 package offload
 
 import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"jpegact/internal/dct"
@@ -56,10 +57,16 @@ var ErrCorrupted = errors.New("offload: corrupted beyond recovery")
 // bit corruption. Match with errors.Is.
 var ErrDropped = transport.ErrDropped
 
-// Channel is the transport layer's GPU↔host byte path; see
+// Channel is the in-process transport backend's GPU↔host byte path; see
 // transport.Channel. internal/faults.Injector implements it; nil means
 // a clean passthrough.
 type Channel = transport.Channel
+
+// Transport is the pluggable byte-path backend interface; see
+// transport.Transport. The default is the in-process channel backend;
+// a netstore client (transport.NetClient) swaps in a shared networked
+// activation store without touching the store or scheduler.
+type Transport = transport.Transport
 
 // RecoveryPolicy selects what Restore does when a frame fails its CRC.
 type RecoveryPolicy int
@@ -67,7 +74,7 @@ type RecoveryPolicy int
 const (
 	// PolicyFail returns a typed error; the host entry is retained.
 	PolicyFail RecoveryPolicy = iota
-	// PolicyRetry re-reads through the channel up to MaxRetries times
+	// PolicyRetry re-reads through the transport up to MaxRetries times
 	// (with optional exponential backoff) before failing.
 	PolicyRetry
 	// PolicyRecompute first exhausts the retries, then invokes the
@@ -94,8 +101,9 @@ func (p RecoveryPolicy) String() string {
 // zero value is PolicyFail.
 type Recovery struct {
 	Policy RecoveryPolicy
-	// MaxRetries bounds the channel re-reads under PolicyRetry and
-	// PolicyRecompute (0 under PolicyRetry defaults to 3).
+	// MaxRetries bounds the transport re-reads under PolicyRetry and
+	// PolicyRecompute (0 under PolicyRetry defaults to 3). On the
+	// networked backend a retry is a reconnect+resend cycle.
 	MaxRetries int
 	// Backoff is the initial delay between retries, doubled each attempt
 	// (0 retries immediately — the right setting for simulated channels).
@@ -108,33 +116,19 @@ type Recovery struct {
 	Recompute func(ref *nn.ActRef) error
 }
 
-// Stats is a point-in-time snapshot of the store's channel activity and
-// recovery counters. The live counters are atomic — the async engine's
-// workers and prefetcher update them concurrently — and Store.Stats
-// assembles a coherent plain-value copy.
-type Stats struct {
-	Offloaded  uint64 // activations sent to host memory
-	Restored   uint64 // activations brought back successfully
-	Corrupted  uint64 // frame reads that failed validation (incl. drops)
-	Retried    uint64 // channel re-reads attempted
-	Recomputed uint64 // corruptions resolved by the Recompute hook
-	Dropped    uint64 // transfers that yielded no bytes (counted within Corrupted too)
-	// CoefRestores counts restores served by the frequency-domain path
-	// (a coefficient plane attached instead of a decoded tensor); the
-	// remainder of Restored went through the full spatial decode.
-	CoefRestores uint64
-	// BytesOffloaded / BytesVerified total the frame bytes written to,
-	// and CRC-verified back from, host memory.
-	BytesOffloaded int64
-	BytesVerified  int64
-}
+// Stats is the unified point-in-time counter snapshot every layer of
+// the stack shares: the store's offload/restore/recovery counters and
+// the transport's corruption/retry counters are fields of one
+// transport.Counters block, and the netstore server reports the same
+// Snapshot shape over its STATS op and /metrics endpoint.
+type Stats = transport.Snapshot
 
-// entry is one offloaded activation in host memory: the framed bytes as
-// they landed after crossing the channel, plus the offload sequence
-// number that fixes the deterministic reverse-restore order.
+// entry is one offloaded activation: the offload sequence number that
+// fixes the deterministic reverse-restore order (and doubles as the
+// transport key) plus the framed byte footprint the backend holds.
 type entry struct {
-	seq int
-	buf []byte
+	seq  int
+	size int
 }
 
 // Store is a host-memory activation store using the JPEG-ACT pipeline
@@ -145,8 +139,19 @@ type entry struct {
 type Store struct {
 	DQT quant.DQT
 	S   float64
-	// Channel is the GPU↔host byte path (nil = clean passthrough).
+	// Channel is the GPU↔host byte path of the default in-process
+	// backend (nil = clean passthrough). Ignored when Transport is set.
 	Channel Channel
+	// Transport overrides the byte-path backend — e.g. a
+	// transport.NetClient talking to a shared netstore server. Build it
+	// with this store's Counters() so its fault and byte counters land
+	// in Stats(), and set it before the first operation.
+	Transport Transport
+	// KeyBase is OR'd into every transport key (the offload sequence
+	// number occupies the low bits). Give each client process of a
+	// shared networked store a disjoint base — e.g. id<<32 — so their
+	// key spaces cannot collide.
+	KeyBase uint64
 	// Recovery selects the corruption policy (zero value = PolicyFail).
 	Recovery Recovery
 	// Sleep is injected into the retry/backoff path (nil = time.Sleep);
@@ -164,24 +169,40 @@ type Store struct {
 	entries   map[*nn.ActRef]*entry
 	nextSeq   int
 	hostBytes int
+	local     *transport.Local
 
-	offloaded      atomic.Uint64
-	restored       atomic.Uint64
-	coefRestored   atomic.Uint64
-	recomputed     atomic.Uint64
-	bytesOffloaded atomic.Int64
-	tstats         transport.Stats
+	counters transport.Counters
 }
 
 // NewStore builds a store with the given quantization table and a clean
-// channel.
+// in-process transport.
 func NewStore(d quant.DQT) *Store {
 	return &Store{DQT: d, S: sfpr.DefaultS, entries: map[*nn.ActRef]*entry{}}
 }
 
+// Counters exposes the store's live counter block so an externally
+// built transport backend (a NetClient) can share it.
+func (s *Store) Counters() *transport.Counters { return &s.counters }
+
 // pipeline returns the codec layer configured with the store's table.
 func (s *Store) pipeline() codec.Pipeline {
 	return codec.Pipeline{DQT: s.DQT, S: s.S}
+}
+
+// transportOf returns the byte-path backend: the configured Transport,
+// or the default in-process backend built lazily over Channel (so tests
+// that assign Channel after NewStore see it).
+func (s *Store) transportOf() Transport {
+	if s.Transport != nil {
+		return s.Transport
+	}
+	s.mu.Lock()
+	if s.local == nil {
+		s.local = transport.NewLocal(s.Channel, &s.counters)
+	}
+	t := s.local
+	s.mu.Unlock()
+	return t
 }
 
 // effRetries maps the recovery policy onto the transport retry budget.
@@ -197,43 +218,25 @@ func (s *Store) effRetries() int {
 	return s.Recovery.MaxRetries
 }
 
-// transportView returns the transport layer configured with the store's
-// current channel, retry schedule and shared counters.
-func (s *Store) transportView() transport.Transport {
-	return transport.Transport{
-		Channel: s.Channel,
-		Retries: s.effRetries(),
-		Backoff: s.Recovery.Backoff,
-		Sleep:   s.Sleep,
-		Stats:   &s.tstats,
+// retry builds the transport retry schedule from the recovery config.
+func (s *Store) retry() transport.Retry {
+	return transport.Retry{
+		Attempts: s.effRetries(),
+		Backoff:  s.Recovery.Backoff,
+		Sleep:    s.Sleep,
 	}
 }
 
-// merge folds the transport layer's counters into the snapshot.
-func (s *Stats) merge(t transport.Snapshot) {
-	s.Corrupted = t.Corrupted
-	s.Retried = t.Retried
-	s.Dropped = t.Dropped
-	s.BytesVerified = t.BytesVerified
-}
+// key maps an entry onto its transport key.
+func (s *Store) key(e *entry) uint64 { return s.KeyBase | uint64(e.seq) }
 
 // Stats returns a point-in-time snapshot of the counters.
-func (s *Store) Stats() Stats {
-	out := Stats{
-		Offloaded:      s.offloaded.Load(),
-		Restored:       s.restored.Load(),
-		CoefRestores:   s.coefRestored.Load(),
-		Recomputed:     s.recomputed.Load(),
-		BytesOffloaded: s.bytesOffloaded.Load(),
-	}
-	out.merge(s.tstats.Snapshot())
-	return out
-}
+func (s *Store) Stats() Stats { return s.counters.Snapshot() }
 
-// Offload compresses the ref's activation into a framed host-memory
-// buffer and releases the tensor (ref.T becomes nil, or a BRC mask
-// replaces it). Refs are deduplicated by pointer; offloading the same
-// ref twice is an error.
+// Offload compresses the ref's activation into a framed buffer on the
+// transport backend and releases the tensor (ref.T becomes nil, or a
+// BRC mask replaces it). Refs are deduplicated by pointer; offloading
+// the same ref twice is an error.
 func (s *Store) Offload(ref *nn.ActRef) error {
 	s.mu.Lock()
 	_, dup := s.entries[ref]
@@ -248,34 +251,41 @@ func (s *Store) Offload(ref *nn.ActRef) error {
 	if err != nil {
 		return fmt.Errorf("offload: offload %q (%s): %w", ref.Name, ref.Kind, err)
 	}
-	s.commitEncoded(ref, frame.EncodeFrame(enc.Frame), enc.Mask)
-	return nil
+	_, err = s.commitEncoded(ref, frame.EncodeFrame(enc.Frame), enc.Mask)
+	return err
 }
 
-// commitEncoded pushes one encoded frame across the channel, records
-// the host entry, and releases the ref's tensor (attaching the BRC mask
-// when present). The scheduler calls this in strict submission order so
-// the channel sees the same Send sequence as the synchronous path.
-func (s *Store) commitEncoded(ref *nn.ActRef, data []byte, mask []bool) *entry {
-	// What Send returns is what actually landed in host memory
-	// (send-side faults are persistent).
-	buf := s.transportView().Send(data)
+// commitEncoded pushes one encoded frame to the transport backend,
+// records the entry, and releases the ref's tensor (attaching the BRC
+// mask when present). The scheduler calls this in strict submission
+// order so the backend sees the same Put sequence as the synchronous
+// path.
+func (s *Store) commitEncoded(ref *nn.ActRef, data []byte, mask []bool) (*entry, error) {
 	s.mu.Lock()
-	e := &entry{seq: s.nextSeq, buf: buf}
+	seq := s.nextSeq
 	s.nextSeq++
+	s.mu.Unlock()
+	// What Put reports is what actually landed on the backend
+	// (send-side faults on the in-process channel are persistent).
+	stored, err := s.transportOf().Put(s.KeyBase|uint64(seq), data, s.retry())
+	if err != nil {
+		return nil, fmt.Errorf("offload: offload %q (%s): %w", ref.Name, ref.Kind, err)
+	}
+	s.mu.Lock()
+	e := &entry{seq: seq, size: stored}
 	s.entries[ref] = e
-	s.hostBytes += len(buf)
+	s.hostBytes += stored
 	s.mu.Unlock()
 	if mask != nil {
 		ref.Mask = mask
 	}
 	ref.T = nil
-	s.offloaded.Add(1)
-	s.bytesOffloaded.Add(int64(len(buf)))
-	return e
+	s.counters.Offloaded.Add(1)
+	s.counters.BytesOffloaded.Add(int64(stored))
+	return e, nil
 }
 
-// lookup returns the host entry for ref, if resident.
+// lookup returns the entry for ref, if resident.
 func (s *Store) lookup(ref *nn.ActRef) (*entry, bool) {
 	s.mu.Lock()
 	e, ok := s.entries[ref]
@@ -285,10 +295,12 @@ func (s *Store) lookup(ref *nn.ActRef) (*entry, bool) {
 
 // read pulls the entry's bytes back through the transport layer (with
 // the policy's retry schedule), returning the verified frame without
-// decoding it. It does not mutate the store, so a failure leaves the
-// entry untouched.
-func (s *Store) read(e *entry) (*frame.Frame, error) {
-	return s.transportView().Read(e.buf)
+// decoding it. The coefficient-plan flag rides along so a networked
+// backend can count compressed-domain serving separately. It does not
+// mutate the store, so a failure leaves the entry untouched.
+func (s *Store) read(e *entry, ref *nn.ActRef) (*frame.Frame, error) {
+	coef := ref != nil && s.CoefPlan != nil && s.CoefPlan(ref)
+	return s.transportOf().Get(s.key(e), s.retry(), coef)
 }
 
 // decodeFrame turns a verified frame into the ref's restored form:
@@ -313,7 +325,7 @@ func (s *Store) decodeFrame(ref *nn.ActRef, f *frame.Frame) (*tensor.Tensor, *fr
 
 // fetch reads and decodes the entry into a staged tensor or plane.
 func (s *Store) fetch(e *entry, ref *nn.ActRef) (*tensor.Tensor, *freqdomain.Plane, error) {
-	f, err := s.read(e)
+	f, err := s.read(e, ref)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -321,32 +333,38 @@ func (s *Store) fetch(e *entry, ref *nn.ActRef) (*tensor.Tensor, *freqdomain.Pla
 }
 
 // finishRestore attaches the staged tensor or coefficient plane (both
-// nil for BRC refs, whose mask is already attached) and frees the host
-// copy.
+// nil for BRC refs, whose mask is already attached) and frees the
+// backend copy (best-effort — a failed delete only leaks backend
+// memory, never correctness).
 func (s *Store) finishRestore(ref *nn.ActRef, e *entry, t *tensor.Tensor, pl *freqdomain.Plane) {
 	if t != nil {
 		ref.T = t
 	}
 	if pl != nil {
 		ref.Coef = pl
-		s.coefRestored.Add(1)
+		s.counters.CoefRestores.Add(1)
 	}
 	s.mu.Lock()
 	delete(s.entries, ref)
-	s.hostBytes -= len(e.buf)
+	s.hostBytes -= e.size
 	s.mu.Unlock()
-	s.restored.Add(1)
+	s.transportOf().Delete(s.key(e))
+	s.counters.Restored.Add(1)
 }
 
 // dropIfCurrent removes ref's entry if it is still e (a recompute hook
 // may have rebuilt the store wholesale, replacing it).
 func (s *Store) dropIfCurrent(ref *nn.ActRef, e *entry) {
 	s.mu.Lock()
-	if cur, still := s.entries[ref]; still && cur == e {
+	cur, still := s.entries[ref]
+	if still && cur == e {
 		delete(s.entries, ref)
-		s.hostBytes -= len(e.buf)
+		s.hostBytes -= e.size
 	}
 	s.mu.Unlock()
+	if still && cur == e {
+		s.transportOf().Delete(s.key(e))
+	}
 }
 
 // recover applies the post-retry recovery policy to a failed restore:
@@ -359,7 +377,7 @@ func (s *Store) recover(ref *nn.ActRef, e *entry, err error) error {
 			return fmt.Errorf("offload: restore %q (%s): %w: recompute failed: %v (original: %v)",
 				ref.Name, ref.Kind, ErrCorrupted, rerr, err)
 		}
-		s.recomputed.Add(1)
+		s.counters.Recomputed.Add(1)
 		// The hook may have rebuilt the store wholesale; drop this
 		// ref's stale entry if it survived.
 		s.dropIfCurrent(ref, e)
@@ -371,11 +389,11 @@ func (s *Store) recover(ref *nn.ActRef, e *entry, err error) error {
 }
 
 // Restore decompresses the stored activation back into ref.T (no-op for
-// BRC refs, whose mask is already attached) and frees the host copy —
+// BRC refs, whose mask is already attached) and frees the backend copy —
 // but only after the frame's CRC is verified and the payload decodes, so
-// a failed restore always leaves the compressed host copy intact. On
+// a failed restore always leaves the compressed copy intact. On
 // corruption the configured RecoveryPolicy is consulted: PolicyFail
-// returns a typed error, PolicyRetry re-reads the channel, and
+// returns a typed error, PolicyRetry re-reads the transport, and
 // PolicyRecompute invokes the Recovery.Recompute hook.
 func (s *Store) Restore(ref *nn.ActRef) error {
 	e, ok := s.lookup(ref)
@@ -434,17 +452,29 @@ func (s *Store) RestoreAll() error {
 	}
 }
 
-// Reset drops every host entry (counters and the offload sequence are
-// preserved). Used by the recompute path to discard a stale step before
-// re-offloading freshly materialized activations.
+// Reset drops every entry, releasing the backend copies (counters and
+// the offload sequence are preserved). Used by the recompute path to
+// discard a stale step before re-offloading freshly materialized
+// activations.
 func (s *Store) Reset() {
 	s.mu.Lock()
+	old := s.entries
 	s.entries = map[*nn.ActRef]*entry{}
 	s.hostBytes = 0
 	s.mu.Unlock()
+	t := s.transportOf()
+	for _, e := range old {
+		t.Delete(s.key(e))
+	}
 }
 
-// Stored returns the number of resident host entries.
+// Close releases the transport backend (the in-process backend's
+// buffers, or a network client's connection).
+func (s *Store) Close() error {
+	return s.transportOf().Close()
+}
+
+// Stored returns the number of resident entries.
 func (s *Store) Stored() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -268,10 +268,17 @@ func TestRestoreRecomputeHook(t *testing.T) {
 	}
 }
 
-// recorder tags every Recv with the order it happened.
-type recorder struct{ order []*byte }
+// recorder tags every Send and Recv with the buffer identity, in the
+// order the transport touched it.
+type recorder struct {
+	sent  []*byte
+	order []*byte
+}
 
-func (r *recorder) Send(b []byte) []byte { return b }
+func (r *recorder) Send(b []byte) []byte {
+	r.sent = append(r.sent, &b[0])
+	return b
+}
 func (r *recorder) Recv(b []byte) []byte {
 	r.order = append(r.order, &b[0])
 	return b
@@ -283,7 +290,6 @@ func TestRestoreAllReverseOffloadOrder(t *testing.T) {
 	s.Channel = rec
 	const n = 6
 	refs := make([]*nn.ActRef, n)
-	var sent []*byte
 	for i := range refs {
 		refs[i] = denseRef(uint64(10 + i))
 		if err := s.Offload(refs[i]); err != nil {
@@ -294,9 +300,10 @@ func TestRestoreAllReverseOffloadOrder(t *testing.T) {
 			t.Fatalf("ref %d has seq %d (ok=%v)", i, seq, ok)
 		}
 	}
-	// Record each entry's host buffer identity in offload order.
-	for i := range refs {
-		sent = append(sent, &s.entries[refs[i]].buf[0])
+	// The Send side saw each entry's host buffer in offload order.
+	sent := rec.sent
+	if len(sent) != n {
+		t.Fatalf("%d sends, want %d", len(sent), n)
 	}
 	if err := s.RestoreAll(); err != nil {
 		t.Fatal(err)

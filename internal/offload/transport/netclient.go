@@ -1,0 +1,281 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"jpegact/internal/frame"
+)
+
+// Dialer opens one connection to the activation store. The indirection
+// is the fault-injection seam of the networked transport: tests wrap
+// the returned net.Conn to drop connections mid-frame or flip bytes in
+// flight, and the reconnect+resend schedule below must absorb it.
+type Dialer func() (net.Conn, error)
+
+// ParseAddr splits an activation-store address into (network, address)
+// for net.Dial / net.Listen: "unix:/path/store.sock" selects a unix
+// socket, "tcp:host:port" selects TCP, and a bare "host:port" defaults
+// to TCP.
+func ParseAddr(s string) (network, addr string, err error) {
+	switch {
+	case strings.HasPrefix(s, "unix:"):
+		return "unix", strings.TrimPrefix(s, "unix:"), nil
+	case strings.HasPrefix(s, "tcp:"):
+		return "tcp", strings.TrimPrefix(s, "tcp:"), nil
+	case strings.Contains(s, ":"):
+		return "tcp", s, nil
+	}
+	return "", "", fmt.Errorf("transport: address %q: want unix:/path or tcp:host:port", s)
+}
+
+// DialAddr builds a Dialer for an address in ParseAddr's syntax.
+func DialAddr(s string) (Dialer, error) {
+	network, addr, err := ParseAddr(s)
+	if err != nil {
+		return nil, err
+	}
+	return func() (net.Conn, error) { return net.Dial(network, addr) }, nil
+}
+
+// NetClient is the wire-protocol Transport backend: every operation is
+// one length-prefixed request/response round trip over a single
+// connection, serialized by a mutex (the offload scheduler's committer
+// and prefetcher are each single goroutines, so one connection is the
+// natural width; run more clients for more parallelism).
+//
+// Failure handling is connection-granular: any dial, write, read or
+// frame-validation failure closes the connection, and the Retry
+// schedule re-dials and resends the request — the PR 2 retry policy
+// with reconnection as the re-read. Requests are idempotent (PUT
+// overwrites, GET is a read, DELETE tolerates NotFound), so a resend
+// after a mid-frame drop is always safe.
+type NetClient struct {
+	// Latency, when set, observes every successful round trip (op code
+	// and wall-clock duration) — the hook offloadbench hangs its
+	// percentile collector on. Set before first use.
+	Latency func(op uint8, d time.Duration)
+
+	dial     Dialer
+	counters *Counters
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// NewNetClient builds a client over dial. Pass the owning store's
+// Counters() so connection faults and verified bytes land in the same
+// snapshot as the store's own counters; nil gets a private block.
+func NewNetClient(dial Dialer, c *Counters) *NetClient {
+	if c == nil {
+		c = &Counters{}
+	}
+	return &NetClient{dial: dial, counters: c}
+}
+
+// ensureConn dials if no connection is live. Called with mu held.
+func (c *NetClient) ensureConn(redial bool) error {
+	if c.conn != nil {
+		return nil
+	}
+	if redial {
+		c.counters.Reconnects.Add(1)
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return fmt.Errorf("transport: dial activation store: %w", err)
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	return nil
+}
+
+// dropConn closes the (poisoned) connection. Called with mu held.
+func (c *NetClient) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.br, c.bw = nil, nil
+	}
+}
+
+// once performs a single request/response round trip, dropping the
+// connection on any transport-level failure so the next attempt
+// redials. Called with mu held.
+func (c *NetClient) once(op uint8, key uint64, body []byte, redial bool) (uint8, []byte, error) {
+	if err := c.ensureConn(redial); err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	err := WriteRequest(c.bw, op, key, body)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err == nil {
+		var status uint8
+		var resp []byte
+		if status, resp, err = ReadResponse(c.br); err == nil {
+			if c.Latency != nil {
+				c.Latency(op, time.Since(start))
+			}
+			return status, resp, nil
+		}
+	}
+	c.dropConn()
+	return 0, nil, err
+}
+
+// Put implements Transport: the frame bytes are shipped under the key,
+// with reconnect+resend on connection failures and a resend when the
+// server reports the payload arrived CRC-corrupt. What the server
+// acknowledged is what it stored, so stored == len(data) on success.
+func (c *NetClient) Put(key uint64, data []byte, r Retry) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	backoff := r.Backoff
+	redial := false
+	var err error
+	for attempt := 0; ; attempt++ {
+		var status uint8
+		status, _, err = c.once(OpPut, key, data, redial)
+		if err == nil {
+			switch status {
+			case StatusOK:
+				return len(data), nil
+			case StatusCorrupt:
+				// The server CRC-checked the frame and refused it: the
+				// bytes were damaged in flight. The local copy is intact,
+				// so a resend recovers.
+				err = fmt.Errorf("transport: put %d: server rejected frame: %w", key, frame.ErrChecksum)
+			default:
+				return 0, fmt.Errorf("transport: put %d: server status %d", key, status)
+			}
+		}
+		redial = c.conn == nil
+		c.counters.Corrupted.Add(1)
+		if attempt >= r.Attempts {
+			return 0, err
+		}
+		c.counters.Retried.Add(1)
+		if backoff > 0 {
+			r.sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// Get implements Transport: the stored frame is fetched and validated
+// client-side (the CRC ran on this side of the wire, so a frame that
+// decodes here is trustworthy no matter what the link did). Connection
+// failures and CRC mismatches both retry on the schedule; a NotFound is
+// terminal.
+func (c *NetClient) Get(key uint64, r Retry, coef bool) (*frame.Frame, error) {
+	op := OpGet
+	if coef {
+		op = OpGetCoef
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	backoff := r.Backoff
+	redial := false
+	var err error
+	for attempt := 0; ; attempt++ {
+		var status uint8
+		var body []byte
+		status, body, err = c.once(op, key, nil, redial)
+		if err == nil {
+			switch status {
+			case StatusOK:
+				var f *frame.Frame
+				f, err = frame.DecodeFrame(body)
+				if err == nil {
+					c.counters.BytesVerified.Add(int64(len(body)))
+					return f, nil
+				}
+			case StatusNotFound:
+				return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
+			default:
+				return nil, fmt.Errorf("transport: get %d: server status %d", key, status)
+			}
+		}
+		redial = c.conn == nil
+		c.counters.Corrupted.Add(1)
+		if attempt >= r.Attempts {
+			return nil, err
+		}
+		c.counters.Retried.Add(1)
+		if backoff > 0 {
+			r.sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// Delete implements Transport. Deletes are housekeeping after a
+// successful restore, so they ride a small fixed reconnect schedule and
+// tolerate NotFound (another retry may already have landed it).
+func (c *NetClient) Delete(key uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	redial := false
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		var status uint8
+		status, _, err = c.once(OpDelete, key, nil, redial)
+		if err == nil {
+			if status == StatusOK || status == StatusNotFound {
+				return nil
+			}
+			return fmt.Errorf("transport: delete %d: server status %d", key, status)
+		}
+		redial = c.conn == nil
+		c.counters.Retried.Add(1)
+	}
+	return err
+}
+
+// ServerStats fetches the server's unified counter snapshot (the same
+// Snapshot shape every layer of the stack reports).
+func (c *NetClient) ServerStats() (Snapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	redial := false
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		var status uint8
+		var body []byte
+		status, body, err = c.once(OpStats, 0, nil, redial)
+		if err == nil {
+			if status != StatusOK {
+				return Snapshot{}, fmt.Errorf("transport: stats: server status %d", status)
+			}
+			var s Snapshot
+			if jerr := json.Unmarshal(body, &s); jerr != nil {
+				return Snapshot{}, fmt.Errorf("transport: stats: %w", jerr)
+			}
+			return s, nil
+		}
+		redial = c.conn == nil
+		c.counters.Retried.Add(1)
+	}
+	return Snapshot{}, err
+}
+
+// Close implements Transport.
+func (c *NetClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropConn()
+	return nil
+}
+
+var _ Transport = (*NetClient)(nil)
+var _ Transport = (*Local)(nil)

@@ -1,8 +1,21 @@
 // Package transport is the byte-moving layer of the offload stack: it
-// owns the GPU↔host channel abstraction, the framed read path with its
-// CRC validation, and the retry/backoff schedule that absorbs transient
-// channel faults. It knows nothing about tensors or compression — it
-// moves validated frames, nothing more.
+// owns the GPU↔host byte-path abstraction, the framed read path with its
+// CRC validation, and the retry schedule that absorbs transient faults.
+// It knows nothing about tensors or compression — it moves validated
+// frames, nothing more.
+//
+// Since PR 7 the layer is pluggable: Transport is the interface the
+// offload store and scheduler are written against, with three
+// implementations —
+//
+//   - Local, the in-process host-memory backend over a Channel (the
+//     default, and the substrate the internal/faults injector plugs
+//     into);
+//   - NetClient (netclient.go), a wire client speaking the length-
+//     prefixed request/response protocol of wire.go over any net.Conn,
+//     with reconnect+resend riding the same Retry schedule;
+//   - the sharded server in internal/offload/netstore, which serves the
+//     same protocol to many concurrent client processes.
 //
 // The layer split (codec / transport / scheduler) mirrors the paper's
 // Fig. 7 datapath: the CDU compresses (codec), the DMA engine moves
@@ -13,18 +26,21 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"io"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"jpegact/internal/frame"
 )
 
-// Channel abstracts the GPU↔host byte path. Send models the offload
-// direction (what it returns is what lands in host memory — faults there
-// are persistent); Recv models the restore direction (faults there are
-// transient, so a retry re-reads the intact host copy). A nil return
-// models a dropped transfer. internal/faults.Injector implements this
-// interface; Clean is the fault-free default.
+// Channel abstracts the GPU↔host byte path of the Local backend. Send
+// models the offload direction (what it returns is what lands in host
+// memory — faults there are persistent); Recv models the restore
+// direction (faults there are transient, so a retry re-reads the intact
+// host copy). A nil return models a dropped transfer.
+// internal/faults.Injector implements this interface; Clean is the
+// fault-free default.
 type Channel interface {
 	Send(b []byte) []byte
 	Recv(b []byte) []byte
@@ -46,111 +62,227 @@ func (Clean) Recv(b []byte) []byte { return b }
 // transient.
 var ErrDropped = errors.New("transport: transfer dropped")
 
-// Stats holds the transport layer's counters. All fields are atomic so
-// the async scheduler's workers and prefetcher can update them
-// concurrently; read a coherent copy with Snapshot.
-type Stats struct {
-	Corrupted     atomic.Uint64 // frame reads that failed validation (incl. drops)
-	Retried       atomic.Uint64 // channel re-reads attempted
-	Dropped       atomic.Uint64 // reads that yielded no bytes (nil transfer)
-	BytesVerified atomic.Int64  // frame bytes CRC-verified back from host memory
-}
+// ErrNotFound reports a Get or Delete for a key the backend holds no
+// entry for — on a networked store, typically a key another process
+// deleted or a server that lost its state. Match with errors.Is.
+var ErrNotFound = errors.New("transport: no entry for key")
 
-// Snapshot is a plain-value copy of Stats.
-type Snapshot struct {
-	Corrupted     uint64
-	Retried       uint64
-	Dropped       uint64
-	BytesVerified int64
-}
-
-// Snapshot returns a point-in-time copy of the counters.
-func (s *Stats) Snapshot() Snapshot {
-	return Snapshot{
-		Corrupted:     s.Corrupted.Load(),
-		Retried:       s.Retried.Load(),
-		Dropped:       s.Dropped.Load(),
-		BytesVerified: s.BytesVerified.Load(),
-	}
-}
-
-// Transport is one configured view of the byte path: a channel plus the
-// retry schedule applied to reads. It is a cheap value — the offload
-// store builds one per operation from its current configuration.
-type Transport struct {
-	// Channel is the byte path (nil = Clean).
-	Channel Channel
-	// Retries bounds the re-reads after a failed frame validation.
-	Retries int
-	// Backoff is the initial delay between retries, doubled each attempt
-	// (0 retries immediately — the right setting for simulated channels).
-	Backoff time.Duration
+// Retry is the per-operation retry schedule a backend applies to a
+// failed transfer: Attempts bounds the re-reads (or reconnect+resend
+// cycles, for a networked backend) after the first failure, Backoff is
+// the initial delay between them, doubled each attempt (0 retries
+// immediately — the right setting for simulated channels).
+type Retry struct {
+	Attempts int
+	Backoff  time.Duration
 	// Sleep is invoked for backoff delays; nil means time.Sleep. Tests
 	// inject a recording clock here so recovery paths never real-sleep.
 	Sleep func(time.Duration)
-	// Stats, when non-nil, accumulates the read counters.
-	Stats *Stats
 }
 
-func (t Transport) channel() Channel {
-	if t.Channel == nil {
-		return Clean{}
-	}
-	return t.Channel
-}
-
-func (t Transport) sleep(d time.Duration) {
-	if t.Sleep != nil {
-		t.Sleep(d)
+func (r Retry) sleep(d time.Duration) {
+	if r.Sleep != nil {
+		r.Sleep(d)
 		return
 	}
 	time.Sleep(d)
 }
 
-// Send pushes b across the channel and returns what landed in host
-// memory (send-side faults are persistent: the returned bytes are the
-// only copy).
-func (t Transport) Send(b []byte) []byte {
-	return t.channel().Send(b)
+// Transport is the pluggable byte-path interface the offload store is
+// written against. Keys are opaque 64-bit names the store assigns (its
+// offload sequence number, optionally OR'd with a per-client KeyBase so
+// processes sharing a networked backend stay disjoint).
+//
+// Put ships one encoded frame to the backend and reports how many bytes
+// landed (a faulty send may persist fewer). Get brings the frame back,
+// CRC-validated, applying the Retry schedule to transient failures; the
+// coef flag marks a read the consumer will serve as a quantized DCT
+// coefficient plane (same bytes — a networked backend counts it
+// separately, since serving the compressed plane without the inverse
+// transform is the cheap path the frequency-domain consumers ride).
+// Delete releases the backend's copy after a successful restore.
+type Transport interface {
+	Put(key uint64, data []byte, r Retry) (stored int, err error)
+	Get(key uint64, r Retry, coef bool) (*frame.Frame, error)
+	Delete(key uint64) error
+	Close() error
 }
 
-// Read pulls the host copy b back through the channel and validates the
-// frame, applying the retry schedule. A nil transfer is reported as
-// ErrDropped (and counted separately from corruption); any other
-// validation failure carries the typed frame error. The returned frame
-// aliases the received bytes.
-func (t Transport) Read(b []byte) (*frame.Frame, error) {
-	backoff := t.Backoff
+// Counters is the unified counter block shared by every layer of the
+// offload stack: the store's offload/restore/recovery counters, the
+// transport's corruption/retry counters, and the netstore server's
+// serving counters are all fields of this one struct, so there is
+// exactly one snapshot shape (Snapshot) everywhere — the store's
+// Stats(), the wire STATS op and the server's /metrics endpoint all
+// render it. All fields are atomic; read a coherent copy with Snapshot.
+type Counters struct {
+	Offloaded      atomic.Uint64 // activations put to the backend
+	Restored       atomic.Uint64 // activations brought back successfully
+	CoefRestores   atomic.Uint64 // restores served as coefficient planes
+	Recomputed     atomic.Uint64 // corruptions resolved by the Recompute hook
+	Corrupted      atomic.Uint64 // transfers that failed validation (incl. drops and broken connections)
+	Retried        atomic.Uint64 // re-reads / reconnect+resend cycles attempted
+	Dropped        atomic.Uint64 // reads that yielded no bytes (nil transfer)
+	Reconnects     atomic.Uint64 // connections re-dialed by a networked backend
+	BytesOffloaded atomic.Int64  // frame bytes written to the backend
+	BytesVerified  atomic.Int64  // frame bytes CRC-verified back from it
+}
+
+// Snapshot is the plain-value copy of Counters — the one snapshot
+// struct the whole stack shares (offload.Stats aliases it).
+type Snapshot struct {
+	Offloaded      uint64 `json:"offloaded"`
+	Restored       uint64 `json:"restored"`
+	CoefRestores   uint64 `json:"coef_restores"`
+	Recomputed     uint64 `json:"recomputed"`
+	Corrupted      uint64 `json:"corrupted"`
+	Retried        uint64 `json:"retried"`
+	Dropped        uint64 `json:"dropped"`
+	Reconnects     uint64 `json:"reconnects"`
+	BytesOffloaded int64  `json:"bytes_offloaded"`
+	BytesVerified  int64  `json:"bytes_verified"`
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Offloaded:      c.Offloaded.Load(),
+		Restored:       c.Restored.Load(),
+		CoefRestores:   c.CoefRestores.Load(),
+		Recomputed:     c.Recomputed.Load(),
+		Corrupted:      c.Corrupted.Load(),
+		Retried:        c.Retried.Load(),
+		Dropped:        c.Dropped.Load(),
+		Reconnects:     c.Reconnects.Load(),
+		BytesOffloaded: c.BytesOffloaded.Load(),
+		BytesVerified:  c.BytesVerified.Load(),
+	}
+}
+
+// WriteMetrics renders the snapshot in Prometheus text exposition
+// format under the given namespace (e.g. "jpegact_store"). The netstore
+// server's /metrics endpoint is this function over its live counters.
+func (s Snapshot) WriteMetrics(w io.Writer, namespace string) error {
+	rows := []struct {
+		name string
+		help string
+		val  int64
+	}{
+		{"offloaded_total", "Activations put to the store", int64(s.Offloaded)},
+		{"restored_total", "Activations restored from the store", int64(s.Restored)},
+		{"coef_restores_total", "Restores served as DCT coefficient planes", int64(s.CoefRestores)},
+		{"recomputed_total", "Corruptions resolved by forward-pass recompute", int64(s.Recomputed)},
+		{"corrupted_total", "Transfers that failed validation", int64(s.Corrupted)},
+		{"retried_total", "Transfer retries attempted", int64(s.Retried)},
+		{"dropped_total", "Transfers that yielded no bytes", int64(s.Dropped)},
+		{"reconnects_total", "Connections re-dialed", int64(s.Reconnects)},
+		{"bytes_offloaded_total", "Frame bytes written to the store", s.BytesOffloaded},
+		{"bytes_verified_total", "Frame bytes CRC-verified back", s.BytesVerified},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n",
+			namespace, r.name, r.help, namespace, r.name, namespace, r.name, r.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Local is the in-process backend: framed bytes live in a map guarded
+// by a mutex, every Put crosses the Channel's Send side once
+// (persistently — what Send returns is the only copy) and every Get
+// re-crosses Recv under the Retry schedule. It is the default backend
+// and the substrate the internal/faults injector plugs into.
+type Local struct {
+	ch       Channel
+	counters *Counters
+
+	mu   sync.Mutex
+	bufs map[uint64][]byte
+}
+
+// NewLocal builds the in-process backend over ch (nil = Clean). A nil
+// counters gets a private block.
+func NewLocal(ch Channel, c *Counters) *Local {
+	if ch == nil {
+		ch = Clean{}
+	}
+	if c == nil {
+		c = &Counters{}
+	}
+	return &Local{ch: ch, counters: c, bufs: map[uint64][]byte{}}
+}
+
+// Put implements Transport. The Retry schedule is ignored: send-side
+// faults are persistent by the fault model's fiat (the corrupted bytes
+// are what landed in host memory), so there is nothing to retry against.
+func (l *Local) Put(key uint64, data []byte, _ Retry) (int, error) {
+	buf := l.ch.Send(data)
+	l.mu.Lock()
+	l.bufs[key] = buf
+	l.mu.Unlock()
+	return len(buf), nil
+}
+
+// Get implements Transport: the host copy is pulled back through the
+// channel's Recv side and CRC-validated, applying the retry schedule. A
+// nil transfer is reported as ErrDropped (and counted separately from
+// corruption); any other validation failure carries the typed frame
+// error. The returned frame aliases the received bytes.
+func (l *Local) Get(key uint64, r Retry, _ bool) (*frame.Frame, error) {
+	l.mu.Lock()
+	b, ok := l.bufs[key]
+	l.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
+	}
+	backoff := r.Backoff
 	var err error
 	for attempt := 0; ; attempt++ {
 		var f *frame.Frame
-		got := t.channel().Recv(b)
+		got := l.ch.Recv(b)
 		if got == nil {
 			err = fmt.Errorf("%w (%d-byte host copy)", ErrDropped, len(b))
-			if t.Stats != nil {
-				t.Stats.Dropped.Add(1)
-			}
+			l.counters.Dropped.Add(1)
 		} else {
 			f, err = frame.DecodeFrame(got)
 		}
 		if err == nil {
-			if t.Stats != nil {
-				t.Stats.BytesVerified.Add(int64(len(got)))
-			}
+			l.counters.BytesVerified.Add(int64(len(got)))
 			return f, nil
 		}
-		if t.Stats != nil {
-			t.Stats.Corrupted.Add(1)
-		}
-		if attempt >= t.Retries {
+		l.counters.Corrupted.Add(1)
+		if attempt >= r.Attempts {
 			return nil, err
 		}
-		if t.Stats != nil {
-			t.Stats.Retried.Add(1)
-		}
+		l.counters.Retried.Add(1)
 		if backoff > 0 {
-			t.sleep(backoff)
+			r.sleep(backoff)
 			backoff *= 2
 		}
 	}
+}
+
+// Delete implements Transport. Deleting an absent key is not an error —
+// the store calls it best-effort after a successful restore.
+func (l *Local) Delete(key uint64) error {
+	l.mu.Lock()
+	delete(l.bufs, key)
+	l.mu.Unlock()
+	return nil
+}
+
+// Close implements Transport.
+func (l *Local) Close() error {
+	l.mu.Lock()
+	l.bufs = map[uint64][]byte{}
+	l.mu.Unlock()
+	return nil
+}
+
+// Stored returns the number of resident entries (for tests and tools).
+func (l *Local) Stored() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.bufs)
 }

@@ -22,17 +22,30 @@ func testFrame(t *testing.T) []byte {
 
 func TestCleanRead(t *testing.T) {
 	buf := testFrame(t)
-	var st Stats
-	tr := Transport{Stats: &st}
-	f, err := tr.Read(buf)
+	var c Counters
+	tr := NewLocal(nil, &c)
+	if _, err := tr.Put(1, buf, Retry{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := tr.Get(1, Retry{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f.Codec != frame.CodecZVC || len(f.Payload) != 4 {
 		t.Fatalf("frame %+v", f)
 	}
-	if st.BytesVerified.Load() != int64(len(buf)) || st.Corrupted.Load() != 0 {
-		t.Fatalf("stats %+v", st.Snapshot())
+	if c.BytesVerified.Load() != int64(len(buf)) || c.Corrupted.Load() != 0 {
+		t.Fatalf("stats %+v", c.Snapshot())
+	}
+}
+
+func TestGetMissingKeyIsTyped(t *testing.T) {
+	tr := NewLocal(nil, nil)
+	if _, err := tr.Get(42, Retry{}, false); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if err := tr.Delete(42); err != nil {
+		t.Fatalf("deleting an absent key must be a no-op: %v", err)
 	}
 }
 
@@ -50,16 +63,19 @@ func (c *dropN) Recv(b []byte) []byte {
 
 func TestDroppedTransferIsTyped(t *testing.T) {
 	buf := testFrame(t)
-	var st Stats
-	tr := Transport{Channel: &dropN{n: 1}, Stats: &st}
-	_, err := tr.Read(buf)
+	var c Counters
+	tr := NewLocal(&dropN{n: 1}, &c)
+	if _, err := tr.Put(1, buf, Retry{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tr.Get(1, Retry{}, false)
 	if !errors.Is(err, ErrDropped) {
 		t.Fatalf("want ErrDropped, got %v", err)
 	}
 	if errors.Is(err, frame.ErrTruncated) {
 		t.Fatal("a drop must not fold into the truncation path")
 	}
-	s := st.Snapshot()
+	s := c.Snapshot()
 	if s.Dropped != 1 || s.Corrupted != 1 {
 		t.Fatalf("stats %+v", s)
 	}
@@ -67,12 +83,15 @@ func TestDroppedTransferIsTyped(t *testing.T) {
 
 func TestDropRecoveredByRetry(t *testing.T) {
 	buf := testFrame(t)
-	var st Stats
-	tr := Transport{Channel: &dropN{n: 2}, Retries: 3, Stats: &st}
-	if _, err := tr.Read(buf); err != nil {
+	var c Counters
+	tr := NewLocal(&dropN{n: 2}, &c)
+	if _, err := tr.Put(1, buf, Retry{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Get(1, Retry{Attempts: 3}, false); err != nil {
 		t.Fatalf("retry should absorb transient drops: %v", err)
 	}
-	s := st.Snapshot()
+	s := c.Snapshot()
 	if s.Dropped != 2 || s.Retried != 2 {
 		t.Fatalf("stats %+v", s)
 	}
@@ -86,13 +105,16 @@ func (truncate) Recv(b []byte) []byte { return b[:len(b)/2] }
 
 func TestRetryExhaustionKeepsTypedError(t *testing.T) {
 	buf := testFrame(t)
-	var st Stats
-	tr := Transport{Channel: truncate{}, Retries: 2, Stats: &st}
-	_, err := tr.Read(buf)
+	var c Counters
+	tr := NewLocal(truncate{}, &c)
+	if _, err := tr.Put(1, buf, Retry{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tr.Get(1, Retry{Attempts: 2}, false)
 	if !errors.Is(err, frame.ErrTruncated) && !errors.Is(err, frame.ErrChecksum) {
 		t.Fatalf("want truncation/checksum, got %v", err)
 	}
-	s := st.Snapshot()
+	s := c.Snapshot()
 	if s.Corrupted != 3 || s.Retried != 2 {
 		t.Fatalf("stats %+v", s)
 	}
@@ -101,14 +123,17 @@ func TestRetryExhaustionKeepsTypedError(t *testing.T) {
 func TestInjectedSleepSeesBackoffSchedule(t *testing.T) {
 	buf := testFrame(t)
 	var slept []time.Duration
-	tr := Transport{
-		Channel: truncate{},
-		Retries: 3,
-		Backoff: 40 * time.Millisecond,
-		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	tr := NewLocal(truncate{}, nil)
+	if _, err := tr.Put(1, buf, Retry{}); err != nil {
+		t.Fatal(err)
+	}
+	r := Retry{
+		Attempts: 3,
+		Backoff:  40 * time.Millisecond,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
 	}
 	start := time.Now()
-	if _, err := tr.Read(buf); err == nil {
+	if _, err := tr.Get(1, r, false); err == nil {
 		t.Fatal("persistent truncation must fail")
 	}
 	// The schedule is seen by the injected clock, not by the wall clock.

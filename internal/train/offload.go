@@ -29,6 +29,7 @@ import (
 	"jpegact/internal/models"
 	"jpegact/internal/nn"
 	"jpegact/internal/offload"
+	"jpegact/internal/offload/transport"
 	"jpegact/internal/quant"
 	"jpegact/internal/tensor"
 )
@@ -62,6 +63,22 @@ type OffloadOptions struct {
 	// InFlightBytes bounds the encoded-but-uncommitted bytes held by
 	// the async encode workers (0 = unlimited).
 	InFlightBytes int
+	// StoreAddr, when non-empty, sends the offload traffic to a shared
+	// networked activation store (cmd/actstore) at this address —
+	// "unix:/path/store.sock" or "tcp:host:port" — instead of the
+	// in-process channel. The trajectory is bit-identical to the
+	// in-process path: compression is deterministic and restores are
+	// content-addressed, so only the transport differs.
+	StoreAddr string
+	// StoreDial overrides the store connection factory (implies
+	// networked mode even with an empty StoreAddr). This is the fault
+	// seam for network-transport tests: wrap the returned net.Conn to
+	// drop connections mid-frame and the reconnect+resend schedule must
+	// absorb it.
+	StoreDial transport.Dialer
+	// StoreKeyBase namespaces this trainer's keys on a shared store
+	// (e.g. clientID<<32); processes with disjoint bases cannot collide.
+	StoreKeyBase uint64
 	// FreqDomain enables the frequency-domain restore path: saved
 	// activations whose every consumer can read quantized DCT
 	// coefficients directly (nn.CoefficientPlan) are restored as
@@ -114,6 +131,22 @@ func ClassifierOffloaded(m *models.Model, ds *data.Classification, cfg Config, o
 		MaxRetries: oc.MaxRetries,
 		Backoff:    oc.Backoff,
 	}
+	if oc.StoreAddr != "" || oc.StoreDial != nil {
+		dial := oc.StoreDial
+		if dial == nil {
+			d, err := transport.DialAddr(oc.StoreAddr)
+			if err != nil {
+				return rep, offload.Stats{}, err
+			}
+			dial = d
+		}
+		// The client shares the store's counter block, so network faults
+		// and verified bytes land in the same Stats() the caller reads.
+		store.Transport = transport.NewNetClient(dial, store.Counters())
+		store.KeyBase = oc.StoreKeyBase
+		rep.MethodName += "+netstore"
+	}
+	defer store.Close()
 	eng := offload.NewEngine(store, oc.engineConfig())
 	defer eng.Close()
 

@@ -37,6 +37,8 @@ import (
 	"jpegact/internal/models"
 	"jpegact/internal/nn"
 	"jpegact/internal/offload"
+	"jpegact/internal/offload/netstore"
+	"jpegact/internal/offload/transport"
 	"jpegact/internal/parallel"
 	"jpegact/internal/quant"
 	"jpegact/internal/sfpr"
@@ -247,6 +249,42 @@ var (
 // bytes at all (a lost DMA), distinct from truncation or corruption;
 // match with errors.Is.
 var ErrOffloadDropped = offload.ErrDropped
+
+// OffloadTransport is the pluggable byte-path backend interface the
+// store is written against: the in-process channel backend, or a wire
+// client talking to a shared activation-store server.
+type OffloadTransport = transport.Transport
+
+// StoreDialer opens one connection to a networked activation store; it
+// is the fault-injection seam of the network transport.
+type StoreDialer = transport.Dialer
+
+// DialActivationStore builds a dialer for "unix:/path" or
+// "tcp:host:port" (a bare host:port defaults to TCP).
+func DialActivationStore(addr string) (StoreDialer, error) {
+	return transport.DialAddr(addr)
+}
+
+// NewStoreClient builds a wire-protocol transport backend over dial.
+// Assign it to an OffloadStore's Transport field, passing the store's
+// Counters() so network faults land in the same OffloadStats.
+func NewStoreClient(dial StoreDialer, c *transport.Counters) *transport.NetClient {
+	return transport.NewNetClient(dial, c)
+}
+
+// ActivationStoreServer is the sharded networked activation store
+// (internal/offload/netstore); run it standalone with cmd/actstore.
+type ActivationStoreServer = netstore.Server
+
+// ActivationStoreConfig sizes an ActivationStoreServer.
+type ActivationStoreConfig = netstore.Config
+
+// NewActivationStore builds a server; Listen/Serve it on a unix socket
+// or TCP address and point clients at it with NewStoreClient or the
+// OffloadTrainOptions.StoreAddr field.
+func NewActivationStore(cfg ActivationStoreConfig) *ActivationStoreServer {
+	return netstore.New(cfg)
+}
 
 // OffloadEngine is the async scheduler layer over an OffloadStore: it
 // pipelines compression and channel transfers against compute, commits

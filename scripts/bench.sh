@@ -43,6 +43,15 @@ for procs in 1 "$(nproc)"; do
 done
 echo "wrote $kout (cores=$(nproc)); merge into BENCH_kernels.json by hand"
 
+# Networked activation store: multi-client training load against an
+# in-process actstore server on a unix socket, sweeping 1/2/4 clients
+# and recording aggregate throughput plus request-latency percentiles.
+# The command exits non-zero if any client's trajectory diverges from
+# the local in-process reference.
+go run ./cmd/offloadbench -net -clients 1,2,4 > BENCH_netstore.json
+echo "wrote BENCH_netstore.json:"
+grep -E 'clients|throughput|p99|trajectory' BENCH_netstore.json
+
 # Frequency-domain restore: the spatial vs coefficient-path backward pair
 # (BN + 1x1 conv over offload-restored activations) plus the TrainStep
 # guard showing the opt-in path costs nothing when disabled. The
