@@ -19,7 +19,7 @@ ci:
 	go vet ./...
 	go build ./...
 	go test ./...
-	go test -race ./internal/offload/... ./internal/train ./internal/parallel ./internal/nn
+	go test -race ./internal/offload/... ./internal/train ./internal/parallel ./internal/nn ./internal/freqdomain ./internal/netfaults
 
 # Micro-benchmarks of the parallel hot paths; scripts/bench.sh wraps
 # this and records results into BENCH_parallel.json.
@@ -39,10 +39,11 @@ bench-offload:
 # target per invocation, so loop over the discovered names in each fuzzed
 # package. The decoders facing untrusted bytes — the offload container
 # (FuzzDecodeFrame), the coefficient-plane restore
-# (FuzzDecodeCoefficients) and the activation-store request path
-# (FuzzNetstoreRequest) — must survive arbitrary input without a panic.
+# (FuzzDecodeCoefficients), the activation-store request path
+# (FuzzNetstoreRequest) and the client's response parser
+# (FuzzWireResponse) — must survive arbitrary input without a panic.
 FUZZTIME ?= 10s
-FUZZPKGS = ./internal/coding/ ./internal/offload/codec/ ./internal/offload/netstore/
+FUZZPKGS = ./internal/coding/ ./internal/offload/codec/ ./internal/offload/netstore/ ./internal/offload/transport/
 .PHONY: fuzz
 fuzz:
 	@for pkg in $(FUZZPKGS); do \

@@ -5,10 +5,13 @@
 // offloadbench -net -addr.
 //
 //	actstore -addr unix:/tmp/actstore.sock -shards 8
-//	actstore -addr tcp:0.0.0.0:7077 -metrics 127.0.0.1:9090
+//	actstore -addr tcp:0.0.0.0:7077 -metrics 127.0.0.1:9090 -replicas 2
 //
 // With -metrics set, the unified counter snapshot (the same one the
 // wire STATS op returns) is served Prometheus-text-style on /metrics.
+// With -replicas R > 1 every PUT lands on R distinct shards and reads
+// fail over (with read-repair) when the primary loses a frame — the
+// survival margin the chaos harness kills shards against.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"jpegact/internal/offload/netstore"
 )
@@ -26,12 +30,14 @@ import (
 func main() {
 	addr := flag.String("addr", "unix:/tmp/actstore.sock", "listen address (unix:/path or tcp:host:port)")
 	shards := flag.Int("shards", netstore.DefaultShards, "in-memory store shards (lock-contention granularity)")
+	replicas := flag.Int("replicas", 1, "copies stored per PUT across distinct shards (reads fail over)")
 	inflight := flag.Int("inflight", netstore.DefaultInFlightBytes, "per-connection response byte budget (backpressure)")
 	metrics := flag.String("metrics", "", "HTTP listen address for /metrics (empty = disabled)")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown drain budget for in-flight responses")
 	verbose := flag.Bool("v", false, "log connection lifecycle and protocol errors")
 	flag.Parse()
 
-	cfg := netstore.Config{Shards: *shards, InFlightBytes: *inflight}
+	cfg := netstore.Config{Shards: *shards, Replicas: *replicas, InFlightBytes: *inflight}
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
@@ -42,7 +48,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "actstore:", err)
 		os.Exit(1)
 	}
-	log.Printf("actstore: serving on %s (shards=%d inflight=%d)", *addr, *shards, *inflight)
+	log.Printf("actstore: serving on %s (shards=%d replicas=%d inflight=%d)", *addr, *shards, *replicas, *inflight)
 
 	if *metrics != "" {
 		mux := http.NewServeMux()
@@ -55,14 +61,22 @@ func main() {
 		}()
 	}
 
-	// Close the listener and drain live connections on SIGINT/SIGTERM so
-	// a unix socket path never leaks past the process.
-	sig := make(chan os.Signal, 1)
+	// Drain on SIGINT/SIGTERM: refuse new connections immediately but
+	// flush every in-flight response before exiting, within the grace
+	// budget; a second signal (or grace expiry) cuts stragglers hard.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		log.Printf("actstore: %v: shutting down", s)
-		srv.Close()
+		log.Printf("actstore: %v: draining (grace %v)", s, *grace)
+		go func() {
+			<-sig
+			log.Print("actstore: second signal: closing hard")
+			srv.Close()
+		}()
+		if err := srv.Shutdown(*grace); err != nil {
+			log.Printf("actstore: %v", err)
+		}
 	}()
 
 	if err := srv.Serve(ln); err != nil {

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"jpegact"
 )
@@ -91,6 +92,12 @@ func main() {
 		"with -offload: networked activation-store address (unix:/path or tcp:host:port; see cmd/actstore)")
 	storeKey := flag.Uint64("store-key", 0,
 		"with -store: client id namespacing this trainer's keys on the shared store (keys become id<<32 | seq)")
+	storeTimeout := flag.Duration("store-timeout", 5*time.Second,
+		"with -store: total wall budget per wire op across reconnect+resend; a dead store fails typed and trips the circuit breaker into degraded local mode (0 = unbounded)")
+	storeHedge := flag.Duration("store-hedge", 0,
+		"with -store: hedge restores slower than this on a second connection (0 = off)")
+	noDegrade := flag.Bool("no-degrade", false,
+		"with -store: disable the circuit breaker; wire failures fail the run instead of degrading to local offload")
 	flag.Parse()
 
 	m, ok := methodByName(*method)
@@ -106,7 +113,8 @@ func main() {
 
 	if *useOffload {
 		runOffloaded(*model, sc, cfg, *seed, *policy, *flip, *trunc, *drop, *faultSeed,
-			*maxRecompute, *async, *prefetch, *inflight, *freq, *store, *storeKey)
+			*maxRecompute, *async, *prefetch, *inflight, *freq, *store, *storeKey,
+			*storeTimeout, *storeHedge, *noDegrade)
 		return
 	}
 	if *store != "" {
@@ -147,7 +155,7 @@ func main() {
 
 // runOffloaded trains over the real host-memory channel, optionally
 // fault-injected, and reports the store's recovery counters.
-func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, seed uint64, policy string, flip, trunc, drop float64, faultSeed uint64, maxRecompute int, async bool, prefetch, inflight int, freq bool, store string, storeKey uint64) {
+func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, seed uint64, policy string, flip, trunc, drop float64, faultSeed uint64, maxRecompute int, async bool, prefetch, inflight int, freq bool, store string, storeKey uint64, storeTimeout, storeHedge time.Duration, noDegrade bool) {
 	if model == "VDSR" {
 		fmt.Fprintln(os.Stderr, "acttrain: -offload supports the classification models only")
 		os.Exit(2)
@@ -167,6 +175,8 @@ func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, 
 	oc := jpegact.OffloadTrainOptions{
 		DQT: jpegact.OptL(), Policy: pol, MaxRecompute: maxRecompute, Verbose: true,
 		FreqDomain: freq, StoreAddr: store, StoreKeyBase: storeKey << 32,
+		StoreTimeout: storeTimeout, StoreHedge: storeHedge,
+		Breaker: jpegact.StoreBreakerConfig{Disabled: noDegrade},
 	}
 	if store != "" && (flip > 0 || trunc > 0 || drop > 0) {
 		fmt.Fprintln(os.Stderr, "acttrain: -flip/-trunc/-drop inject on the in-process channel; they have no effect with -store")
@@ -200,6 +210,9 @@ func runOffloaded(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, 
 	fmt.Printf("channel: offloaded=%d restored=%d corrupted=%d retried=%d recomputed=%d dropped=%d reconnects=%d verified=%dB\n",
 		stats.Offloaded, stats.Restored, stats.Corrupted, stats.Retried,
 		stats.Recomputed, stats.Dropped, stats.Reconnects, stats.BytesVerified)
+	if stats.Degraded > 0 || stats.Hedged > 0 {
+		fmt.Printf("failure-domain: degraded=%d hedged=%d\n", stats.Degraded, stats.Hedged)
+	}
 	if freq && stats.Restored > 0 {
 		fmt.Printf("freq: coef_restores=%d/%d (%.1f%%)\n", stats.CoefRestores, stats.Restored,
 			100*float64(stats.CoefRestores)/float64(stats.Restored))

@@ -104,6 +104,11 @@ func runMode(mode string, cfg offload.EngineConfig, freq bool, steps, batch, wid
 	times := make([]float64, 0, steps)
 	for s := 0; s < steps; s++ {
 		x, labels := ds.Batch(batch)
+		// Snapshot forward side effects so a chaos-triggered recompute
+		// (store set to PolicyRecompute by the -chaos setup) can replay
+		// the step bit-exactly; a fatal wire failure then costs a replay
+		// instead of the whole benchmark.
+		pre := nn.CaptureNetState(m.Net)
 		t0 := time.Now()
 
 		eng.BeginStep()
@@ -115,6 +120,24 @@ func runMode(mode string, cfg offload.EngineConfig, freq bool, steps, batch, wid
 		if freq {
 			plan := nn.CoefficientPlan(m.Net)
 			store.CoefPlan = func(ref *nn.ActRef) bool { return plan[ref] }
+		}
+		if store.Recovery.Policy == offload.PolicyRecompute {
+			recomputes := 0
+			store.Recovery.Recompute = func(_ *nn.ActRef) error {
+				if recomputes >= 8 {
+					return fmt.Errorf("recompute budget (8) exhausted")
+				}
+				recomputes++
+				// Rewind and replay the forward with hooks detached, then
+				// re-offload the fresh refs synchronously — the same
+				// whole-step rebuild the trainer uses.
+				nn.SetHooks(m.Net, nil)
+				nn.RestoreNetState(m.Net, pre)
+				m.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: x}, true)
+				store.Reset()
+				_, _, oerr := store.OffloadAll(m.Net.SavedRefs())
+				return oerr
+			}
 		}
 		if _, _, err := eng.EndForward(m.Net.SavedRefs()); err != nil {
 			fatal(mode, err)
@@ -131,6 +154,7 @@ func runMode(mode string, cfg offload.EngineConfig, freq bool, steps, batch, wid
 		}
 		m.Net.Backward(grad)
 		nn.SetHooks(m.Net, nil)
+		store.Recovery.Recompute = nil
 		if err := eng.EndStep(); err != nil {
 			fatal(mode, err)
 		}
@@ -202,6 +226,10 @@ func main() {
 	clients := flag.String("clients", "1,2,4", "comma-separated client counts for the -net sweep")
 	addr := flag.String("addr", "", "activation-store address for -net (unix:/path or tcp:host:port; empty starts an in-process server on a unix socket)")
 	shards := flag.Int("shards", 0, "shard count for the in-process -net server (0 = default)")
+	replicas := flag.Int("replicas", 1, "replica copies per PUT on the in-process -net server (also sets the replicated-overhead pass width)")
+	hedge := flag.Duration("hedge", 0, "with -net: hedge GETs slower than this on a second connection (0 = off)")
+	storeTimeout := flag.Duration("store-timeout", 5*time.Second, "with -net: total wall budget per wire op across reconnect+resend (0 = unbounded)")
+	chaos := flag.Uint64("chaos", 0, "with -net: seed for deterministic connection chaos (resets, stalls, latency spikes; 0 = off)")
 	flag.Parse()
 
 	procs := ensureProcs()
@@ -210,7 +238,11 @@ func main() {
 		procs, procs, prefetch, *steps, *batch, *width)
 
 	if *netMode {
-		runNetBench(*addr, *clients, *shards, *steps, *batch, *width, procs, prefetch)
+		runNetBench(netBenchConfig{
+			addr: *addr, clients: *clients, shards: *shards, replicas: *replicas,
+			steps: *steps, batch: *batch, width: *width, procs: procs, prefetch: prefetch,
+			hedge: *hedge, storeTimeout: *storeTimeout, chaosSeed: *chaos,
+		})
 		return
 	}
 

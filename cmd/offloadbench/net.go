@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"jpegact/internal/netfaults"
 	"jpegact/internal/offload"
 	"jpegact/internal/offload/netstore"
 	"jpegact/internal/offload/transport"
@@ -63,20 +64,37 @@ type netClientsResult struct {
 	P95us          float64 `json:"latency_p95_us"`
 	P99us          float64 `json:"latency_p99_us"`
 	Reconnects     uint64  `json:"reconnects"`
+	// Failure-domain counters: nonzero only when the run actually lived
+	// through faults (chaos mode, hedging, a degrading store).
+	Degraded   uint64 `json:"degraded,omitempty"`
+	Hedged     uint64 `json:"hedged,omitempty"`
+	Recomputed uint64 `json:"recomputed,omitempty"`
 }
 
 type netReport struct {
-	Benchmark       string             `json:"benchmark"`
-	Model           string             `json:"model"`
-	BatchSize       int                `json:"batch_size"`
-	Steps           int                `json:"steps"`
-	GOMAXPROCS      int                `json:"gomaxprocs"`
-	Workers         int                `json:"workers"`
-	Prefetch        int                `json:"prefetch"`
-	Addr            string             `json:"addr"`
-	Shards          int                `json:"shards"`
-	Results         []netClientsResult `json:"results"`
-	TrajectoryMatch bool               `json:"trajectory_match"`
+	Benchmark    string              `json:"benchmark"`
+	Model        string              `json:"model"`
+	BatchSize    int                 `json:"batch_size"`
+	Steps        int                 `json:"steps"`
+	GOMAXPROCS   int                 `json:"gomaxprocs"`
+	Workers      int                 `json:"workers"`
+	Prefetch     int                 `json:"prefetch"`
+	Addr         string              `json:"addr"`
+	Shards       int                 `json:"shards"`
+	Replicas     int                 `json:"replicas"`
+	HedgeUS      float64             `json:"hedge_us,omitempty"`
+	ChaosSeed    uint64              `json:"chaos_seed,omitempty"`
+	Results      []netClientsResult  `json:"results"`
+	ReplicaReads uint64              `json:"replica_reads,omitempty"`
+	Chaos        *netfaults.Snapshot `json:"chaos,omitempty"`
+	// Replicated-overhead pass (in-process server only): one client's
+	// PUT p95 against a single-replica server vs an R-replica one. The
+	// extra copies are server-side shard memcopies, so the acceptance
+	// bar for the fan-out is <= 1.25x the single-replica p95.
+	SingleP95us           float64 `json:"single_replica_put_p95_us,omitempty"`
+	ReplicatedP95us       float64 `json:"replicated_put_p95_us,omitempty"`
+	ReplicatedP95Overhead float64 `json:"replicated_p95_overhead,omitempty"`
+	TrajectoryMatch       bool    `json:"trajectory_match"`
 }
 
 func parseClients(spec string) []int {
@@ -98,57 +116,137 @@ func parseClients(spec string) []int {
 	return out
 }
 
+// netBenchConfig carries the -net mode's flag surface.
+type netBenchConfig struct {
+	addr         string
+	clients      string
+	shards       int
+	replicas     int
+	steps        int
+	batch        int
+	width        int
+	procs        int
+	prefetch     int
+	hedge        time.Duration
+	storeTimeout time.Duration
+	chaosSeed    uint64
+}
+
+// startServer launches an in-process netstore server on a fresh unix
+// socket and returns it with its address and a cleanup.
+func startServer(cfg netstore.Config) (*netstore.Server, string, func()) {
+	tmp, err := os.MkdirTemp("", "actstore")
+	if err != nil {
+		fatal("net", err)
+	}
+	addr := "unix:" + filepath.Join(tmp, "store.sock")
+	srv := netstore.New(cfg)
+	ln, err := srv.Listen(addr)
+	if err != nil {
+		fatal("net", err)
+	}
+	go srv.Serve(ln)
+	return srv, addr, func() {
+		srv.Close()
+		os.RemoveAll(tmp)
+	}
+}
+
+// replicatedOverheadPass times one client's wire PUTs against a fresh
+// single-replica server and against an R-replica one, returning both
+// p95s. Replication fans each PUT into R shard memcopies on the server,
+// so the replicated p95 is expected within 1.25x of the single one.
+func replicatedOverheadPass(cfg netBenchConfig, ec offload.EngineConfig, replicas int) (p95single, p95repl float64) {
+	run := func(r int) float64 {
+		srv, addr, cleanup := startServer(netstore.Config{Shards: cfg.shards, Replicas: r})
+		defer cleanup()
+		_ = srv
+		dial, err := transport.DialAddr(addr)
+		if err != nil {
+			fatal("net", err)
+		}
+		col := &latCollector{}
+		setup := func(s *offload.Store) {
+			c := transport.NewNetClient(dial, s.Counters())
+			c.Latency = func(op uint8, d time.Duration) {
+				if op == transport.OpPut {
+					col.observe(op, d)
+				}
+			}
+			s.Transport = c
+		}
+		runMode(fmt.Sprintf("replica-overhead-r%d", r), ec, false, cfg.steps, cfg.batch, cfg.width, setup)
+		_, _, p95, _ := col.percentiles()
+		return p95
+	}
+	return run(1), run(replicas)
+}
+
 // runNetBench drives the client-count sweep and writes the JSON report
 // to stdout (scripts/bench.sh lands it in BENCH_netstore.json).
-func runNetBench(addr, clientsSpec string, shards, steps, batch, width, procs, prefetch int) {
-	external := addr != ""
-	if shards <= 0 {
-		shards = netstore.DefaultShards
+func runNetBench(cfg netBenchConfig) {
+	external := cfg.addr != ""
+	if cfg.shards <= 0 {
+		cfg.shards = netstore.DefaultShards
 	}
+	if cfg.replicas < 1 {
+		cfg.replicas = 1
+	}
+	addr := cfg.addr
 	var srv *netstore.Server
 	if !external {
-		tmp, err := os.MkdirTemp("", "actstore")
-		if err != nil {
-			fatal("net", err)
-		}
-		defer os.RemoveAll(tmp)
-		addr = "unix:" + filepath.Join(tmp, "store.sock")
-		srv = netstore.New(netstore.Config{Shards: shards})
-		ln, err := srv.Listen(addr)
-		if err != nil {
-			fatal("net", err)
-		}
-		go srv.Serve(ln)
-		defer srv.Close()
+		var cleanup func()
+		srv, addr, cleanup = startServer(netstore.Config{Shards: cfg.shards, Replicas: cfg.replicas})
+		defer cleanup()
 	}
 	dial, err := transport.DialAddr(addr)
 	if err != nil {
 		fatal("net", err)
 	}
+	// Chaos mode wraps every connection in the deterministic fault
+	// injector: resets mid-frame, stalls and latency spikes. Recovery is
+	// content-transparent (reconnect+resend, recompute replay, breaker
+	// degradation), so the trajectory check below still demands
+	// bit-identity with the local reference.
+	var inj *netfaults.Injector
+	if cfg.chaosSeed != 0 {
+		inj = netfaults.New(netfaults.Config{
+			Seed:     cfg.chaosSeed,
+			PReset:   0.01,
+			PLatency: 0.02, Latency: time.Millisecond,
+			PStall: 0.01, Stall: 10 * time.Millisecond,
+		})
+		dial = transport.Dialer(inj.WrapDialer(dial))
+	}
+	opTimeout := cfg.storeTimeout / 4
+	if cfg.storeTimeout > 0 && opTimeout < 50*time.Millisecond {
+		opTimeout = 50 * time.Millisecond
+	}
 
-	cfg := offload.EngineConfig{Async: true, Prefetch: prefetch}
+	ec := offload.EngineConfig{Async: true, Prefetch: cfg.prefetch}
 	// Every client runs the same seeds, so the local run is the exact
 	// trajectory each of them must reproduce over the wire.
-	ref := runMode("local-ref", cfg, false, steps, batch, width, nil)
+	ref := runMode("local-ref", ec, false, cfg.steps, cfg.batch, cfg.width, nil)
 
 	rep := netReport{
 		Benchmark:       "netstore_multiclient",
-		Model:           fmt.Sprintf("ResNet18/w%d", width),
-		BatchSize:       batch,
-		Steps:           steps,
-		GOMAXPROCS:      procs,
-		Workers:         procs,
-		Prefetch:        prefetch,
+		Model:           fmt.Sprintf("ResNet18/w%d", cfg.width),
+		BatchSize:       cfg.batch,
+		Steps:           cfg.steps,
+		GOMAXPROCS:      cfg.procs,
+		Workers:         cfg.procs,
+		Prefetch:        cfg.prefetch,
 		Addr:            addr,
-		Shards:          shards,
+		Shards:          cfg.shards,
+		Replicas:        cfg.replicas,
+		HedgeUS:         float64(cfg.hedge.Microseconds()),
+		ChaosSeed:       cfg.chaosSeed,
 		TrajectoryMatch: true,
 	}
 
-	for _, n := range parseClients(clientsSpec) {
+	for _, n := range parseClients(cfg.clients) {
 		col := &latCollector{}
 		results := make([]modeResult, n)
-		var reconnects uint64
-		var mu sync.Mutex
 		var wg sync.WaitGroup
 		start := time.Now()
 		for id := 0; id < n; id++ {
@@ -158,24 +256,37 @@ func runNetBench(addr, clientsSpec string, shards, steps, batch, width, procs, p
 				setup := func(s *offload.Store) {
 					c := transport.NewNetClient(dial, s.Counters())
 					c.Latency = col.observe
+					c.OpTimeout = opTimeout
+					c.Hedge = cfg.hedge
 					s.Transport = c
 					// Disjoint key spaces: concurrent clients must never
 					// collide on the shared server.
 					s.KeyBase = uint64(id+1) << 32
+					s.Recovery.OpTimeout = opTimeout
+					s.Recovery.Deadline = cfg.storeTimeout
+					if cfg.chaosSeed != 0 {
+						// Chaos runs must survive whole-op failures: retry
+						// hard, replay the step when a restore is lost, and
+						// degrade through the breaker rather than die.
+						s.Recovery.Policy = offload.PolicyRecompute
+						s.Recovery.MaxRetries = 8
+						s.Breaker = offload.BreakerConfig{FailureThreshold: 1, ProbeAfter: 16}
+					}
 				}
-				res := runMode(fmt.Sprintf("net-c%d-id%d", n, id), cfg, false, steps, batch, width, setup)
-				mu.Lock()
-				results[id] = res
-				reconnects += res.stats.Reconnects
-				mu.Unlock()
+				results[id] = runMode(fmt.Sprintf("net-c%d-id%d", n, id), ec, false, cfg.steps, cfg.batch, cfg.width, setup)
 			}(id)
 		}
 		wg.Wait()
 		wall := time.Since(start)
 
 		var bytes int64
+		var reconnects, degraded, hedged, recomputed uint64
 		for _, res := range results {
 			bytes += res.stats.BytesOffloaded + res.stats.BytesVerified
+			reconnects += res.stats.Reconnects
+			degraded += res.stats.Degraded
+			hedged += res.stats.Hedged
+			recomputed += res.stats.Recomputed
 			for i, l := range res.Losses {
 				if l != ref.Losses[i] {
 					rep.TrajectoryMatch = false
@@ -186,16 +297,45 @@ func runNetBench(addr, clientsSpec string, shards, steps, batch, width, procs, p
 		rep.Results = append(rep.Results, netClientsResult{
 			Clients:        n,
 			TotalMS:        float64(wall.Microseconds()) / 1e3,
-			StepsPerSec:    float64(n*steps) / wall.Seconds(),
+			StepsPerSec:    float64(n*cfg.steps) / wall.Seconds(),
 			ThroughputMBps: float64(bytes) / 1e6 / wall.Seconds(),
 			Ops:            ops,
 			P50us:          p50,
 			P95us:          p95,
 			P99us:          p99,
 			Reconnects:     reconnects,
+			Degraded:       degraded,
+			Hedged:         hedged,
+			Recomputed:     recomputed,
 		})
 		fmt.Fprintf(os.Stderr, "offloadbench: net clients=%d wall=%v ops=%d p50=%.0fus p95=%.0fus p99=%.0fus\n",
 			n, wall.Round(time.Millisecond), ops, p50, p95, p99)
+	}
+
+	if srv != nil {
+		rep.ReplicaReads = srv.Snapshot().ReplicaReads
+	}
+	if inj != nil {
+		snap := inj.Stats()
+		rep.Chaos = &snap
+	}
+
+	// The replicated-overhead pass needs its own clean servers, so it
+	// only runs against the in-process backend and outside chaos mode.
+	if !external && inj == nil {
+		r := cfg.replicas
+		if r < 2 {
+			r = 2
+		}
+		rep.SingleP95us, rep.ReplicatedP95us = replicatedOverheadPass(cfg, ec, r)
+		if rep.SingleP95us > 0 {
+			rep.ReplicatedP95Overhead = rep.ReplicatedP95us / rep.SingleP95us
+		}
+		fmt.Fprintf(os.Stderr, "offloadbench: replicated PUT p95 %.0fus vs single %.0fus (%.2fx, replicas=%d)\n",
+			rep.ReplicatedP95us, rep.SingleP95us, rep.ReplicatedP95Overhead, r)
+		if rep.ReplicatedP95Overhead > 1.25 {
+			fmt.Fprintln(os.Stderr, "offloadbench: WARNING: replicated-PUT overhead exceeds the 1.25x acceptance bar")
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -29,8 +29,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"jpegact/internal/frame"
 	"jpegact/internal/offload/transport"
@@ -45,6 +48,13 @@ type Config struct {
 	// are hashed across (<= 0 uses DefaultShards). More shards means
 	// less lock contention between concurrent clients.
 	Shards int
+	// Replicas is how many distinct shards every PUT lands on (<= 1
+	// stores a single copy). Reads try the primary shard first and fail
+	// over to the replicas — counted in ReplicaReads, with read-repair
+	// re-installing the frame into any shard that lost it — so a killed
+	// shard loses no frames as long as one replica survives. Clamped to
+	// Shards.
+	Replicas int
 	// InFlightBytes bounds the response bytes queued to any one
 	// connection's writer (<= 0 uses DefaultInFlightBytes). The head
 	// response is always admitted so one oversized frame cannot
@@ -83,6 +93,7 @@ type Server struct {
 	listeners map[net.Listener]struct{}
 	open      map[net.Conn]struct{}
 	closed    bool
+	draining  bool
 	wg        sync.WaitGroup
 }
 
@@ -90,6 +101,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	if cfg.Shards <= 0 {
 		cfg.Shards = DefaultShards
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > cfg.Shards {
+		cfg.Replicas = cfg.Shards
 	}
 	if cfg.InFlightBytes <= 0 {
 		cfg.InFlightBytes = DefaultInFlightBytes
@@ -119,8 +136,18 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-func (s *Server) shardFor(key uint64) *shard {
-	return s.shards[mix64(key)%uint64(len(s.shards))]
+// replicaSet returns the cfg.Replicas distinct shards responsible for
+// key, primary first. Replicas are the next shards in ring order, so
+// any two keys sharing a primary also share their whole set — losing
+// one shard leaves every key at least Replicas-1 surviving copies.
+func (s *Server) replicaSet(key uint64) []*shard {
+	k := uint64(len(s.shards))
+	primary := mix64(key) % k
+	set := make([]*shard, s.cfg.Replicas)
+	for i := range set {
+		set[i] = s.shards[(primary+uint64(i))%k]
+	}
+	return set
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -137,6 +164,19 @@ func (s *Server) Listen(addr string) (net.Listener, error) {
 		return nil, err
 	}
 	ln, err := net.Listen(network, address)
+	if err != nil && network == "unix" && strings.Contains(err.Error(), "address already in use") {
+		// A previous server killed with SIGKILL leaves its socket file
+		// behind. If nobody answers a probe dial, the socket is stale:
+		// unlink it and bind again — required for restart-in-place under
+		// the chaos harness and CI's kill -9 smoke.
+		if probe, perr := net.DialTimeout(network, address, 250*time.Millisecond); perr != nil {
+			if rmErr := os.Remove(address); rmErr == nil {
+				ln, err = net.Listen(network, address)
+			}
+		} else {
+			probe.Close()
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -158,15 +198,15 @@ func (s *Server) Serve(ln net.Listener) error {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopping := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stopping {
 				return nil
 			}
 			return err
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return nil
@@ -196,6 +236,47 @@ func (s *Server) ListenAndServe(addr string) error {
 		return err
 	}
 	return s.Serve(ln)
+}
+
+// Shutdown drains the server gracefully: new connections are refused
+// immediately, but every request already read gets its response flushed
+// before the connection closes. Readers blocked waiting for the next
+// request are woken with an immediate read deadline, which the drain
+// path treats as a clean end-of-stream rather than an error — so an
+// in-flight PUT or GET either completes normally or the client sees a
+// plain connection close (a resendable wire error), never a torn
+// response. After grace expires any straggler connections are cut hard
+// via Close.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	for conn := range s.open {
+		// Wake the reader without touching writes: queued responses
+		// still stream out, only the next ReadRequest fails fast.
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var late error
+	select {
+	case <-done:
+	case <-time.After(grace):
+		late = errors.New("netstore: shutdown grace expired with connections still open")
+	}
+	s.Close()
+	return late
 }
 
 // Close stops the listeners, closes every live connection and waits for
@@ -231,25 +312,51 @@ func (s *Server) handleRequest(req transport.Request) (status uint8, body []byte
 			s.counters.Corrupted.Add(1)
 			return transport.StatusCorrupt, nil
 		}
-		sh := s.shardFor(req.Key)
-		sh.mu.Lock()
-		if old, ok := sh.entries[req.Key]; ok {
-			sh.bytes -= int64(len(old))
+		// One wire request, R shard writes: replication costs memcopies
+		// only, never extra round trips. Offload counters record the
+		// logical PUT once; resident-byte accounting is per shard.
+		for _, sh := range s.replicaSet(req.Key) {
+			sh.mu.Lock()
+			if old, ok := sh.entries[req.Key]; ok {
+				sh.bytes -= int64(len(old))
+			}
+			sh.entries[req.Key] = req.Body
+			sh.bytes += int64(len(req.Body))
+			sh.mu.Unlock()
 		}
-		sh.entries[req.Key] = req.Body
-		sh.bytes += int64(len(req.Body))
-		sh.mu.Unlock()
 		s.counters.Offloaded.Add(1)
 		s.counters.BytesOffloaded.Add(int64(len(req.Body)))
 		return transport.StatusOK, nil
 
 	case transport.OpGet, transport.OpGetCoef:
-		sh := s.shardFor(req.Key)
-		sh.mu.Lock()
-		b, ok := sh.entries[req.Key]
-		sh.mu.Unlock()
-		if !ok {
+		set := s.replicaSet(req.Key)
+		var b []byte
+		hit := -1
+		for i, sh := range set {
+			sh.mu.Lock()
+			v, ok := sh.entries[req.Key]
+			sh.mu.Unlock()
+			if ok {
+				b, hit = v, i
+				break
+			}
+		}
+		if hit < 0 {
 			return transport.StatusNotFound, nil
+		}
+		if hit > 0 {
+			// The primary lost this frame (killed shard): serve it from
+			// the surviving replica and read-repair every shard in the
+			// set that lacks it, so a second failure still finds copies.
+			s.counters.ReplicaReads.Add(1)
+			for _, sh := range set {
+				sh.mu.Lock()
+				if _, ok := sh.entries[req.Key]; !ok {
+					sh.entries[req.Key] = b
+					sh.bytes += int64(len(b))
+				}
+				sh.mu.Unlock()
+			}
 		}
 		s.counters.Restored.Add(1)
 		if req.Op == transport.OpGetCoef {
@@ -264,15 +371,17 @@ func (s *Server) handleRequest(req transport.Request) (status uint8, body []byte
 		return transport.StatusOK, b
 
 	case transport.OpDelete:
-		sh := s.shardFor(req.Key)
-		sh.mu.Lock()
-		b, ok := sh.entries[req.Key]
-		if ok {
-			delete(sh.entries, req.Key)
-			sh.bytes -= int64(len(b))
+		found := false
+		for _, sh := range s.replicaSet(req.Key) {
+			sh.mu.Lock()
+			if b, ok := sh.entries[req.Key]; ok {
+				delete(sh.entries, req.Key)
+				sh.bytes -= int64(len(b))
+				found = true
+			}
+			sh.mu.Unlock()
 		}
-		sh.mu.Unlock()
-		if !ok {
+		if !found {
 			return transport.StatusNotFound, nil
 		}
 		return transport.StatusOK, nil
@@ -342,6 +451,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	for {
 		req, err := transport.ReadRequest(br)
 		if err != nil {
+			if s.drainingNow() && isTimeout(err) {
+				// Shutdown woke us between requests: stop reading cleanly
+				// so close(out) lets the writer flush what's queued.
+				break
+			}
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				if errors.Is(err, transport.ErrWire) {
 					// The stream is poisoned — answer once, then drop the
@@ -360,6 +474,37 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	close(out)
 	wg.Wait()
+}
+
+func (s *Server) drainingNow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// isTimeout reports whether err is a network timeout (the deadline poke
+// Shutdown uses to wake blocked readers).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// KillShard wipes every entry in shard i and returns how many frames it
+// dropped — a fault-injection hook for the chaos harness, standing in
+// for a storage node dying. With Replicas > 1 the surviving shards keep
+// a copy of every frame, so subsequent GETs fail over (and read-repair
+// repopulates the killed shard).
+func (s *Server) KillShard(i int) int {
+	if i < 0 || i >= len(s.shards) {
+		return 0
+	}
+	sh := s.shards[i]
+	sh.mu.Lock()
+	n := len(sh.entries)
+	sh.entries = map[uint64][]byte{}
+	sh.bytes = 0
+	sh.mu.Unlock()
+	return n
 }
 
 // enqueue admits one response to the writer queue under the byte
@@ -430,5 +575,6 @@ func (s *Server) MetricsHandler() http.Handler {
 		fmt.Fprintf(w, "# HELP jpegact_actstore_resident_bytes Resident framed bytes\n# TYPE jpegact_actstore_resident_bytes gauge\njpegact_actstore_resident_bytes %d\n", s.HostBytes())
 		fmt.Fprintf(w, "# HELP jpegact_actstore_bad_requests_total Requests refused as malformed\n# TYPE jpegact_actstore_bad_requests_total counter\njpegact_actstore_bad_requests_total %d\n", s.badReqs.Load())
 		fmt.Fprintf(w, "# HELP jpegact_actstore_shards Configured shard count\n# TYPE jpegact_actstore_shards gauge\njpegact_actstore_shards %d\n", len(s.shards))
+		fmt.Fprintf(w, "# HELP jpegact_actstore_replicas Copies stored per PUT\n# TYPE jpegact_actstore_replicas gauge\njpegact_actstore_replicas %d\n", s.cfg.Replicas)
 	})
 }

@@ -57,6 +57,12 @@ var ErrCorrupted = errors.New("offload: corrupted beyond recovery")
 // bit corruption. Match with errors.Is.
 var ErrDropped = transport.ErrDropped
 
+// ErrStoreUnavailable is the transport layer's typed verdict for a wire
+// operation whose whole retry schedule failed at the connection level —
+// the store is dead or unreachable. The circuit breaker counts exactly
+// these. Match with errors.Is.
+var ErrStoreUnavailable = transport.ErrStoreUnavailable
+
 // Channel is the in-process transport backend's GPU↔host byte path; see
 // transport.Channel. internal/faults.Injector implements it; nil means
 // a clean passthrough.
@@ -108,6 +114,14 @@ type Recovery struct {
 	// Backoff is the initial delay between retries, doubled each attempt
 	// (0 retries immediately — the right setting for simulated channels).
 	Backoff time.Duration
+	// OpTimeout bounds each wire attempt via connection deadlines
+	// (0 = none; the in-process backend ignores it).
+	OpTimeout time.Duration
+	// Deadline bounds the wall time of one operation's whole retry
+	// schedule; on expiry the wire reports the typed
+	// ErrStoreUnavailable — the verdict the circuit breaker counts —
+	// instead of spinning on a dead store (0 = unbounded).
+	Deadline time.Duration
 	// Recompute re-materializes the corrupted ref's activation under
 	// PolicyRecompute. The hook may rebuild the whole step — replay the
 	// forward pass, Reset the store and re-offload fresh refs — in which
@@ -126,9 +140,13 @@ type Stats = transport.Snapshot
 // entry is one offloaded activation: the offload sequence number that
 // fixes the deterministic reverse-restore order (and doubles as the
 // transport key) plus the framed byte footprint the backend holds.
+// degraded marks frames the circuit breaker routed to the local
+// fallback instead of the wire; restore and delete follow the flag so a
+// frame is always read back from wherever its bytes actually live.
 type entry struct {
-	seq  int
-	size int
+	seq      int
+	size     int
+	degraded bool
 }
 
 // Store is a host-memory activation store using the JPEG-ACT pipeline
@@ -164,12 +182,20 @@ type Store struct {
 	// Refs outside the plan (and non-JPEG frames within it) take the full
 	// spatial decode, unchanged.
 	CoefPlan func(ref *nn.ActRef) bool
+	// Breaker tunes the circuit breaker guarding a wire Transport (see
+	// BreakerConfig; the zero value is enabled with defaults). When the
+	// breaker opens, offloads degrade to an in-process fallback holding
+	// the identical encoded bytes, so training continues bit-identically
+	// through a dead store.
+	Breaker BreakerConfig
 
 	mu        sync.Mutex
 	entries   map[*nn.ActRef]*entry
 	nextSeq   int
 	hostBytes int
 	local     *transport.Local
+	fallback  *transport.Local
+	brk       *breaker
 
 	counters transport.Counters
 }
@@ -205,6 +231,48 @@ func (s *Store) transportOf() Transport {
 	return t
 }
 
+// fallbackT returns the degraded-mode backend: a clean in-process store
+// that receives the same encoded frames a healthy wire PUT would carry.
+// Built lazily — a run that never trips the breaker never allocates it.
+func (s *Store) fallbackT() Transport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fallback == nil {
+		s.fallback = transport.NewLocal(nil, &s.counters)
+	}
+	return s.fallback
+}
+
+// breakerOf returns the breaker state machine with config defaults
+// applied.
+func (s *Store) breakerOf() *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.brk == nil {
+		cfg := s.Breaker
+		if cfg.FailureThreshold <= 0 {
+			cfg.FailureThreshold = 3
+		}
+		if cfg.ProbeAfter <= 0 {
+			cfg.ProbeAfter = 32
+		}
+		s.brk = &breaker{cfg: cfg}
+	}
+	return s.brk
+}
+
+// breakerActive reports whether wire ops should consult the breaker: it
+// only guards an explicit wire Transport, and only when not disabled.
+func (s *Store) breakerActive() bool {
+	return s.Transport != nil && !s.Breaker.Disabled
+}
+
+// Tripped reports whether the circuit breaker is currently open (new
+// offloads are being served degraded from the local fallback).
+func (s *Store) Tripped() bool {
+	return s.breakerActive() && s.breakerOf().tripped()
+}
+
 // effRetries maps the recovery policy onto the transport retry budget.
 func (s *Store) effRetries() int {
 	switch s.Recovery.Policy {
@@ -221,9 +289,11 @@ func (s *Store) effRetries() int {
 // retry builds the transport retry schedule from the recovery config.
 func (s *Store) retry() transport.Retry {
 	return transport.Retry{
-		Attempts: s.effRetries(),
-		Backoff:  s.Recovery.Backoff,
-		Sleep:    s.Sleep,
+		Attempts:  s.effRetries(),
+		Backoff:   s.Recovery.Backoff,
+		Sleep:     s.Sleep,
+		OpTimeout: s.Recovery.OpTimeout,
+		Total:     s.Recovery.Deadline,
 	}
 }
 
@@ -267,12 +337,12 @@ func (s *Store) commitEncoded(ref *nn.ActRef, data []byte, mask []bool) (*entry,
 	s.mu.Unlock()
 	// What Put reports is what actually landed on the backend
 	// (send-side faults on the in-process channel are persistent).
-	stored, err := s.transportOf().Put(s.KeyBase|uint64(seq), data, s.retry())
+	stored, degraded, err := s.put(s.KeyBase|uint64(seq), data)
 	if err != nil {
 		return nil, fmt.Errorf("offload: offload %q (%s): %w", ref.Name, ref.Kind, err)
 	}
 	s.mu.Lock()
-	e := &entry{seq: seq, size: stored}
+	e := &entry{seq: seq, size: stored, degraded: degraded}
 	s.entries[ref] = e
 	s.hostBytes += stored
 	s.mu.Unlock()
@@ -283,6 +353,40 @@ func (s *Store) commitEncoded(ref *nn.ActRef, data []byte, mask []bool) (*entry,
 	s.counters.Offloaded.Add(1)
 	s.counters.BytesOffloaded.Add(int64(stored))
 	return e, nil
+}
+
+// put routes one encoded frame to the wire or — when the circuit
+// breaker has opened, or opens on this very op's failure — to the
+// degraded local fallback. The bytes are identical either way (the
+// lossy codec ran before routing), so training trajectories stay
+// bit-identical across healthy, degraded, and recovered stretches.
+func (s *Store) put(key uint64, data []byte) (stored int, degraded bool, err error) {
+	if !s.breakerActive() {
+		n, err := s.transportOf().Put(key, data, s.retry())
+		return n, false, err
+	}
+	b := s.breakerOf()
+	if !b.skipWire() {
+		n, err := s.Transport.Put(key, data, s.retry())
+		if err == nil {
+			b.onSuccess()
+			return n, false, nil
+		}
+		if !errors.Is(err, transport.ErrStoreUnavailable) {
+			// Payload-level failure (corruption past the retry budget):
+			// the wire is answering, so this is not a breaker event.
+			return 0, false, err
+		}
+		b.onFailure()
+		if !b.tripped() {
+			// Below the threshold the failure still surfaces; the
+			// recovery policy (retry/recompute) owns it.
+			return 0, false, err
+		}
+	}
+	s.counters.Degraded.Add(1)
+	n, err := s.fallbackT().Put(key, data, transport.Retry{})
+	return n, true, err
 }
 
 // lookup returns the entry for ref, if resident.
@@ -300,7 +404,34 @@ func (s *Store) lookup(ref *nn.ActRef) (*entry, bool) {
 // mutate the store, so a failure leaves the entry untouched.
 func (s *Store) read(e *entry, ref *nn.ActRef) (*frame.Frame, error) {
 	coef := ref != nil && s.CoefPlan != nil && s.CoefPlan(ref)
-	return s.transportOf().Get(s.key(e), s.retry(), coef)
+	if e.degraded {
+		// The frame was never sent to the wire; its only copy lives in
+		// the breaker's fallback.
+		s.counters.Degraded.Add(1)
+		return s.fallbackT().Get(s.key(e), transport.Retry{}, coef)
+	}
+	f, err := s.transportOf().Get(s.key(e), s.retry(), coef)
+	if s.breakerActive() {
+		if err == nil {
+			s.breakerOf().onSuccess()
+		} else if errors.Is(err, transport.ErrStoreUnavailable) {
+			// The failure still surfaces — the bytes are gone with the
+			// store, so only the recompute policy can recover this ref —
+			// but it advances the breaker so the re-offloads that follow
+			// degrade instead of beating on a dead wire.
+			s.breakerOf().onFailure()
+		}
+	}
+	return f, err
+}
+
+// deleteEntry releases the backend copy wherever it lives.
+func (s *Store) deleteEntry(e *entry) {
+	if e.degraded {
+		s.fallbackT().Delete(s.key(e))
+		return
+	}
+	s.transportOf().Delete(s.key(e))
 }
 
 // decodeFrame turns a verified frame into the ref's restored form:
@@ -348,7 +479,7 @@ func (s *Store) finishRestore(ref *nn.ActRef, e *entry, t *tensor.Tensor, pl *fr
 	delete(s.entries, ref)
 	s.hostBytes -= e.size
 	s.mu.Unlock()
-	s.transportOf().Delete(s.key(e))
+	s.deleteEntry(e)
 	s.counters.Restored.Add(1)
 }
 
@@ -363,7 +494,7 @@ func (s *Store) dropIfCurrent(ref *nn.ActRef, e *entry) {
 	}
 	s.mu.Unlock()
 	if still && cur == e {
-		s.transportOf().Delete(s.key(e))
+		s.deleteEntry(e)
 	}
 }
 
@@ -462,16 +593,23 @@ func (s *Store) Reset() {
 	s.entries = map[*nn.ActRef]*entry{}
 	s.hostBytes = 0
 	s.mu.Unlock()
-	t := s.transportOf()
 	for _, e := range old {
-		t.Delete(s.key(e))
+		s.deleteEntry(e)
 	}
 }
 
 // Close releases the transport backend (the in-process backend's
-// buffers, or a network client's connection).
+// buffers, or a network client's connection) and the breaker's degraded
+// fallback, when one was ever built.
 func (s *Store) Close() error {
-	return s.transportOf().Close()
+	err := s.transportOf().Close()
+	s.mu.Lock()
+	f := s.fallback
+	s.mu.Unlock()
+	if f != nil {
+		f.Close()
+	}
+	return err
 }
 
 // Stored returns the number of resident entries.

@@ -1,0 +1,76 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"jpegact/internal/frame"
+	"jpegact/internal/tensor"
+)
+
+// FuzzWireResponse feeds arbitrary bytes through the client-side
+// response parser — the surface a damaged or hostile server can reach.
+// Requests have been fuzzed since PR 7 (FuzzNetstoreRequest); this
+// closes the other half of the wire. The parser must never panic, never
+// allocate past MaxBody, and classify every malformed header as the
+// typed ErrWire; bodies that parse must then survive frame validation
+// without a panic (the client CRC-checks every GET payload before
+// trusting it).
+func FuzzWireResponse(f *testing.F) {
+	fr := &frame.Frame{
+		Codec:   frame.CodecZVC,
+		Shape:   tensor.Shape{N: 1, C: 1, H: 2, W: 2},
+		Scales:  []float32{1},
+		Payload: []byte{1, 2, 3, 4},
+	}
+	valid := frame.EncodeFrame(fr)
+
+	var ok, notFound, corrupt, stats bytes.Buffer
+	WriteResponse(&ok, StatusOK, valid)
+	WriteResponse(&notFound, StatusNotFound, nil)
+	WriteResponse(&corrupt, StatusCorrupt, nil)
+	WriteResponse(&stats, StatusOK, []byte(`{"offloaded":3}`))
+	f.Add(ok.Bytes())
+	f.Add(append(ok.Bytes(), notFound.Bytes()...))
+	f.Add(corrupt.Bytes())
+	f.Add(stats.Bytes())
+	f.Add(ok.Bytes()[:len(ok.Bytes())/2])     // cut mid-body
+	f.Add(ok.Bytes()[:5])                     // truncated response header
+	f.Add([]byte{'J', 'S', 99, 0})            // bad version
+	f.Add([]byte{'J', 'Q', 1, 0, 0, 0, 0, 0}) // request magic where a response belongs
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r := bytes.NewReader(raw)
+		for {
+			status, body, err := ReadResponse(r)
+			if err != nil {
+				// Unlike requests, a cut between responses is NOT clean —
+				// the client is always mid-operation when it reads — so
+				// every failure must carry the typed wire error.
+				if !errors.Is(err, ErrWire) {
+					t.Fatalf("untyped response decode error: %v", err)
+				}
+				break
+			}
+			if len(body) > MaxBody {
+				t.Fatalf("%d-byte body escaped the %d cap", len(body), MaxBody)
+			}
+			if status == StatusOK && len(body) > 0 {
+				// The client's next step on a GET hit: frame validation
+				// must be panic-free on whatever the wire produced.
+				frame.DecodeFrame(body)
+			}
+		}
+		// Drained input must end exactly at a response boundary or a
+		// typed error; either way nothing is left unaccounted.
+		if r.Len() > 0 {
+			if _, err := io.Copy(io.Discard, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

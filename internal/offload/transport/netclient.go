@@ -43,6 +43,38 @@ func DialAddr(s string) (Dialer, error) {
 	return func() (net.Conn, error) { return net.Dial(network, addr) }, nil
 }
 
+// dialConn runs dial under a watchdog so a blackholed TCP connect (the
+// one I/O a conn deadline cannot cover, since there is no conn yet)
+// still respects the per-op deadline. A dial that completes after the
+// watchdog fires is reaped by a small goroutine that closes it.
+func dialConn(dial Dialer, timeout time.Duration) (net.Conn, error) {
+	if timeout <= 0 {
+		return dial()
+	}
+	type res struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		conn, err := dial()
+		ch <- res{conn, err}
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.conn, r.err
+	case <-t.C:
+		go func() {
+			if r := <-ch; r.conn != nil {
+				r.conn.Close()
+			}
+		}()
+		return nil, fmt.Errorf("transport: dial activation store: timed out after %v", timeout)
+	}
+}
+
 // NetClient is the wire-protocol Transport backend: every operation is
 // one length-prefixed request/response round trip over a single
 // connection, serialized by a mutex (the offload scheduler's committer
@@ -55,11 +87,29 @@ func DialAddr(s string) (Dialer, error) {
 // with reconnection as the re-read. Requests are idempotent (PUT
 // overwrites, GET is a read, DELETE tolerates NotFound), so a resend
 // after a mid-frame drop is always safe.
+//
+// Deadlines bound every attempt (Retry.OpTimeout, via conn deadlines,
+// with the client-level OpTimeout as the fallback) and the schedule as
+// a whole (Retry.Total): once the budget is spent the operation returns
+// a typed ErrStoreUnavailable instead of spinning on a dead server.
 type NetClient struct {
 	// Latency, when set, observes every successful round trip (op code
 	// and wall-clock duration) — the hook offloadbench hangs its
-	// percentile collector on. Set before first use.
+	// percentile collector on. Set before first use. It may be invoked
+	// concurrently when hedging is enabled.
 	Latency func(op uint8, d time.Duration)
+	// OpTimeout is the client-level per-attempt deadline applied when
+	// the operation's Retry schedule carries none — it also bounds
+	// housekeeping ops (Delete, ServerStats) that take no schedule.
+	// 0 = no deadline. Set before first use.
+	OpTimeout time.Duration
+	// Hedge, when > 0, arms tail-latency hedging on GETs: if the
+	// primary connection has not answered within the delay, the same
+	// request is raced on a fresh connection and the first answer wins.
+	// The abandoned primary is poisoned (its response would arrive
+	// unsolicited) and dropped. Each hedge launched counts in
+	// Counters.Hedged. Set before first use.
+	Hedge time.Duration
 
 	dial     Dialer
 	counters *Counters
@@ -80,15 +130,29 @@ func NewNetClient(dial Dialer, c *Counters) *NetClient {
 	return &NetClient{dial: dial, counters: c}
 }
 
+// effTimeout resolves an op's deadline: the schedule's, else the
+// client-level default.
+func (c *NetClient) effTimeout(d time.Duration) time.Duration {
+	if d > 0 {
+		return d
+	}
+	return c.OpTimeout
+}
+
+// budgetSpent reports whether the schedule's total wall budget is gone.
+func budgetSpent(start time.Time, r Retry) bool {
+	return r.Total > 0 && time.Since(start) >= r.Total
+}
+
 // ensureConn dials if no connection is live. Called with mu held.
-func (c *NetClient) ensureConn(redial bool) error {
+func (c *NetClient) ensureConn(redial bool, timeout time.Duration) error {
 	if c.conn != nil {
 		return nil
 	}
 	if redial {
 		c.counters.Reconnects.Add(1)
 	}
-	conn, err := c.dial()
+	conn, err := dialConn(c.dial, timeout)
 	if err != nil {
 		return fmt.Errorf("transport: dial activation store: %w", err)
 	}
@@ -107,45 +171,72 @@ func (c *NetClient) dropConn() {
 	}
 }
 
-// once performs a single request/response round trip, dropping the
-// connection on any transport-level failure so the next attempt
-// redials. Called with mu held.
-func (c *NetClient) once(op uint8, key uint64, body []byte, redial bool) (uint8, []byte, error) {
-	if err := c.ensureConn(redial); err != nil {
-		return 0, nil, err
+// roundTrip performs one request/response exchange on an explicit
+// connection under an optional deadline. It touches no client state
+// beyond the Latency hook, so a hedge can run it concurrently with the
+// primary's exchange on a different connection.
+func (c *NetClient) roundTrip(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, op uint8, key uint64, body []byte, timeout time.Duration) (uint8, []byte, error) {
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	} else {
+		conn.SetDeadline(time.Time{})
 	}
 	start := time.Now()
-	err := WriteRequest(c.bw, op, key, body)
+	err := WriteRequest(bw, op, key, body)
 	if err == nil {
-		err = c.bw.Flush()
+		err = bw.Flush()
 	}
 	if err == nil {
 		var status uint8
 		var resp []byte
-		if status, resp, err = ReadResponse(c.br); err == nil {
+		if status, resp, err = ReadResponse(br); err == nil {
 			if c.Latency != nil {
 				c.Latency(op, time.Since(start))
 			}
 			return status, resp, nil
 		}
 	}
-	c.dropConn()
 	return 0, nil, err
+}
+
+// once performs a single request/response round trip on the client's
+// connection, dropping it on any transport-level failure so the next
+// attempt redials. Called with mu held.
+func (c *NetClient) once(op uint8, key uint64, body []byte, redial bool, timeout time.Duration) (uint8, []byte, error) {
+	if err := c.ensureConn(redial, timeout); err != nil {
+		return 0, nil, err
+	}
+	status, resp, err := c.roundTrip(c.conn, c.br, c.bw, op, key, body, timeout)
+	if err != nil {
+		c.dropConn()
+	}
+	return status, resp, err
+}
+
+// unavailable wraps the terminal error of an exhausted schedule whose
+// failures were all connection-level — the typed verdict the circuit
+// breaker above keys on.
+func unavailable(op string, key uint64, attempts int, err error) error {
+	return fmt.Errorf("transport: %s %d: %w after %d attempts: %v", op, key, ErrStoreUnavailable, attempts, err)
 }
 
 // Put implements Transport: the frame bytes are shipped under the key,
 // with reconnect+resend on connection failures and a resend when the
 // server reports the payload arrived CRC-corrupt. What the server
 // acknowledged is what it stored, so stored == len(data) on success.
+// An exhausted schedule (attempts or Total wall budget) against a dead
+// server returns a typed ErrStoreUnavailable.
 func (c *NetClient) Put(key uint64, data []byte, r Retry) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	backoff := r.Backoff
+	start := time.Now()
 	redial := false
 	var err error
 	for attempt := 0; ; attempt++ {
 		var status uint8
-		status, _, err = c.once(OpPut, key, data, redial)
+		status, _, err = c.once(OpPut, key, data, redial, c.effTimeout(r.OpTimeout))
+		connFail := err != nil
 		if err == nil {
 			switch status {
 			case StatusOK:
@@ -161,7 +252,10 @@ func (c *NetClient) Put(key uint64, data []byte, r Retry) (int, error) {
 		}
 		redial = c.conn == nil
 		c.counters.Corrupted.Add(1)
-		if attempt >= r.Attempts {
+		if attempt >= r.Attempts || budgetSpent(start, r) {
+			if connFail {
+				return 0, unavailable("put", key, attempt+1, err)
+			}
 			return 0, err
 		}
 		c.counters.Retried.Add(1)
@@ -172,11 +266,90 @@ func (c *NetClient) Put(key uint64, data []byte, r Retry) (int, error) {
 	}
 }
 
+// rtResult carries one round trip's outcome between goroutines.
+type rtResult struct {
+	status uint8
+	body   []byte
+	err    error
+}
+
+// hedgeTrip runs the hedged copy of a GET: a fresh connection, one
+// exchange, closed either way — it never touches the primary's state.
+func (c *NetClient) hedgeTrip(op uint8, key uint64, timeout time.Duration) (uint8, []byte, error) {
+	conn, err := dialConn(c.dial, timeout)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer conn.Close()
+	return c.roundTrip(conn, bufio.NewReader(conn), bufio.NewWriter(conn), op, key, nil, timeout)
+}
+
+// getAttempt is one attempt of a GET: the plain round trip, or — with
+// hedging armed — the primary exchange raced against a second
+// connection once the hedge delay passes. Called with mu held.
+func (c *NetClient) getAttempt(op uint8, key uint64, redial bool, timeout time.Duration) (uint8, []byte, error) {
+	if c.Hedge <= 0 {
+		return c.once(op, key, nil, redial, timeout)
+	}
+	if err := c.ensureConn(redial, timeout); err != nil {
+		return 0, nil, err
+	}
+	conn, br, bw := c.conn, c.br, c.bw
+	prim := make(chan rtResult, 1)
+	go func() {
+		s, b, e := c.roundTrip(conn, br, bw, op, key, nil, timeout)
+		prim <- rtResult{s, b, e}
+	}()
+	t := time.NewTimer(c.Hedge)
+	defer t.Stop()
+	select {
+	case res := <-prim:
+		if res.err != nil {
+			c.dropConn()
+		}
+		return res.status, res.body, res.err
+	case <-t.C:
+	}
+	c.counters.Hedged.Add(1)
+	hed := make(chan rtResult, 1)
+	go func() {
+		s, b, e := c.hedgeTrip(op, key, timeout)
+		hed <- rtResult{s, b, e}
+	}()
+	select {
+	case res := <-prim:
+		// The primary answered after all; the hedge connection closes
+		// itself and its answer is discarded.
+		if res.err != nil {
+			c.dropConn()
+		}
+		return res.status, res.body, res.err
+	case res := <-hed:
+		if res.err != nil {
+			// The hedge lost too; fall back to whatever the primary does.
+			res2 := <-prim
+			if res2.err != nil {
+				c.dropConn()
+			}
+			return res2.status, res2.body, res2.err
+		}
+		// The hedge won. The primary exchange is abandoned mid-flight:
+		// its response would arrive unsolicited and desynchronize the
+		// stream, so the connection is poisoned — close it, wait for the
+		// reader goroutine to notice, then release the state.
+		conn.Close()
+		<-prim
+		c.dropConn()
+		return res.status, res.body, res.err
+	}
+}
+
 // Get implements Transport: the stored frame is fetched and validated
 // client-side (the CRC ran on this side of the wire, so a frame that
 // decodes here is trustworthy no matter what the link did). Connection
 // failures and CRC mismatches both retry on the schedule; a NotFound is
-// terminal.
+// terminal. An exhausted schedule of connection-level failures returns
+// a typed ErrStoreUnavailable.
 func (c *NetClient) Get(key uint64, r Retry, coef bool) (*frame.Frame, error) {
 	op := OpGet
 	if coef {
@@ -185,12 +358,14 @@ func (c *NetClient) Get(key uint64, r Retry, coef bool) (*frame.Frame, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	backoff := r.Backoff
+	start := time.Now()
 	redial := false
 	var err error
 	for attempt := 0; ; attempt++ {
 		var status uint8
 		var body []byte
-		status, body, err = c.once(op, key, nil, redial)
+		status, body, err = c.getAttempt(op, key, redial, c.effTimeout(r.OpTimeout))
+		connFail := err != nil
 		if err == nil {
 			switch status {
 			case StatusOK:
@@ -208,7 +383,10 @@ func (c *NetClient) Get(key uint64, r Retry, coef bool) (*frame.Frame, error) {
 		}
 		redial = c.conn == nil
 		c.counters.Corrupted.Add(1)
-		if attempt >= r.Attempts {
+		if attempt >= r.Attempts || budgetSpent(start, r) {
+			if connFail {
+				return nil, unavailable("get", key, attempt+1, err)
+			}
 			return nil, err
 		}
 		c.counters.Retried.Add(1)
@@ -220,8 +398,9 @@ func (c *NetClient) Get(key uint64, r Retry, coef bool) (*frame.Frame, error) {
 }
 
 // Delete implements Transport. Deletes are housekeeping after a
-// successful restore, so they ride a small fixed reconnect schedule and
-// tolerate NotFound (another retry may already have landed it).
+// successful restore, so they ride a small fixed reconnect schedule
+// (under the client-level OpTimeout) and tolerate NotFound (another
+// retry may already have landed it).
 func (c *NetClient) Delete(key uint64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -229,7 +408,7 @@ func (c *NetClient) Delete(key uint64) error {
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
 		var status uint8
-		status, _, err = c.once(OpDelete, key, nil, redial)
+		status, _, err = c.once(OpDelete, key, nil, redial, c.OpTimeout)
 		if err == nil {
 			if status == StatusOK || status == StatusNotFound {
 				return nil
@@ -252,7 +431,7 @@ func (c *NetClient) ServerStats() (Snapshot, error) {
 	for attempt := 0; attempt < 3; attempt++ {
 		var status uint8
 		var body []byte
-		status, body, err = c.once(OpStats, 0, nil, redial)
+		status, body, err = c.once(OpStats, 0, nil, redial, c.OpTimeout)
 		if err == nil {
 			if status != StatusOK {
 				return Snapshot{}, fmt.Errorf("transport: stats: server status %d", status)

@@ -67,6 +67,16 @@ var ErrDropped = errors.New("transport: transfer dropped")
 // deleted or a server that lost its state. Match with errors.Is.
 var ErrNotFound = errors.New("transport: no entry for key")
 
+// ErrStoreUnavailable reports that the backend could not be reached at
+// all within the operation's deadline budget: every dial, write or read
+// attempt of the schedule failed at the connection level (dead server,
+// unreachable socket, per-op deadlines expiring on a stalled link). It
+// is the terminal verdict of the retry loop, never a single-attempt
+// error — callers that see it know the schedule is exhausted and the
+// store is presumed down, which is what the offload layer's circuit
+// breaker keys its trip decision on. Match with errors.Is.
+var ErrStoreUnavailable = errors.New("transport: activation store unavailable")
+
 // Retry is the per-operation retry schedule a backend applies to a
 // failed transfer: Attempts bounds the re-reads (or reconnect+resend
 // cycles, for a networked backend) after the first failure, Backoff is
@@ -78,6 +88,19 @@ type Retry struct {
 	// Sleep is invoked for backoff delays; nil means time.Sleep. Tests
 	// inject a recording clock here so recovery paths never real-sleep.
 	Sleep func(time.Duration)
+	// OpTimeout bounds one attempt of a networked operation (the write
+	// plus the wait for its response) via connection deadlines, so a
+	// stalled server or link surfaces as a retryable timeout instead of
+	// hanging the training step forever. 0 = no per-attempt deadline.
+	// The in-process backend ignores it (a map read cannot stall).
+	OpTimeout time.Duration
+	// Total bounds the wall-clock of the whole schedule — first attempt,
+	// every reconnect+resend cycle and every backoff sleep included.
+	// When the budget is exhausted the operation fails with a typed
+	// ErrStoreUnavailable rather than starting another cycle, so a
+	// permanently dead server costs a bounded stall, never a hang.
+	// 0 = attempts alone bound the schedule.
+	Total time.Duration
 }
 
 func (r Retry) sleep(d time.Duration) {
@@ -124,6 +147,9 @@ type Counters struct {
 	Retried        atomic.Uint64 // re-reads / reconnect+resend cycles attempted
 	Dropped        atomic.Uint64 // reads that yielded no bytes (nil transfer)
 	Reconnects     atomic.Uint64 // connections re-dialed by a networked backend
+	Degraded       atomic.Uint64 // operations served by the degraded local fallback (breaker open)
+	Hedged         atomic.Uint64 // hedge requests launched against a slow GET
+	ReplicaReads   atomic.Uint64 // GETs served by a non-primary replica shard
 	BytesOffloaded atomic.Int64  // frame bytes written to the backend
 	BytesVerified  atomic.Int64  // frame bytes CRC-verified back from it
 }
@@ -139,6 +165,9 @@ type Snapshot struct {
 	Retried        uint64 `json:"retried"`
 	Dropped        uint64 `json:"dropped"`
 	Reconnects     uint64 `json:"reconnects"`
+	Degraded       uint64 `json:"degraded"`
+	Hedged         uint64 `json:"hedged"`
+	ReplicaReads   uint64 `json:"replica_reads"`
 	BytesOffloaded int64  `json:"bytes_offloaded"`
 	BytesVerified  int64  `json:"bytes_verified"`
 }
@@ -154,6 +183,9 @@ func (c *Counters) Snapshot() Snapshot {
 		Retried:        c.Retried.Load(),
 		Dropped:        c.Dropped.Load(),
 		Reconnects:     c.Reconnects.Load(),
+		Degraded:       c.Degraded.Load(),
+		Hedged:         c.Hedged.Load(),
+		ReplicaReads:   c.ReplicaReads.Load(),
 		BytesOffloaded: c.BytesOffloaded.Load(),
 		BytesVerified:  c.BytesVerified.Load(),
 	}
@@ -176,6 +208,9 @@ func (s Snapshot) WriteMetrics(w io.Writer, namespace string) error {
 		{"retried_total", "Transfer retries attempted", int64(s.Retried)},
 		{"dropped_total", "Transfers that yielded no bytes", int64(s.Dropped)},
 		{"reconnects_total", "Connections re-dialed", int64(s.Reconnects)},
+		{"degraded_total", "Operations served by the degraded local fallback", int64(s.Degraded)},
+		{"hedged_total", "Hedge requests launched against slow GETs", int64(s.Hedged)},
+		{"replica_reads_total", "GETs served by a non-primary replica shard", int64(s.ReplicaReads)},
 		{"bytes_offloaded_total", "Frame bytes written to the store", s.BytesOffloaded},
 		{"bytes_verified_total", "Frame bytes CRC-verified back", s.BytesVerified},
 	}

@@ -79,6 +79,30 @@ type OffloadOptions struct {
 	// StoreKeyBase namespaces this trainer's keys on a shared store
 	// (e.g. clientID<<32); processes with disjoint bases cannot collide.
 	StoreKeyBase uint64
+	// StoreTimeout bounds the total wall time one wire operation may
+	// spend across its whole reconnect+resend schedule; on expiry the
+	// op fails with the typed offload.ErrStoreUnavailable, which feeds
+	// the circuit breaker. Each individual attempt is bounded by a
+	// quarter of the budget (at least 50ms) so one stalled connection
+	// cannot eat it all. 0 = unbounded (the pre-deadline behaviour).
+	StoreTimeout time.Duration
+	// StoreHedge arms tail-latency hedging on store GETs: a restore
+	// slower than this races a second connection and the first answer
+	// wins (0 = off). Purely a latency shield — the winning bytes are
+	// CRC-identical either way.
+	StoreHedge time.Duration
+	// Breaker tunes the store's circuit breaker (zero value = enabled
+	// with defaults; set Disabled to surface wire failures instead of
+	// degrading). Only meaningful in networked mode.
+	Breaker offload.BreakerConfig
+	// StoreClient, when set, receives the built wire client before the
+	// first operation — the seam chaos tests use to install op-count
+	// triggers (kill a shard on the Nth PUT) via the Latency hook.
+	StoreClient func(*transport.NetClient)
+	// EpochEnd, when set, runs after each epoch's batches (before
+	// validation) — the deterministic point where a chaos harness kills
+	// or restarts the server between steps, when the store is empty.
+	EpochEnd func(epoch int)
 	// FreqDomain enables the frequency-domain restore path: saved
 	// activations whose every consumer can read quantized DCT
 	// coefficients directly (nn.CoefficientPlan) are restored as
@@ -131,6 +155,14 @@ func ClassifierOffloaded(m *models.Model, ds *data.Classification, cfg Config, o
 		MaxRetries: oc.MaxRetries,
 		Backoff:    oc.Backoff,
 	}
+	if oc.StoreTimeout > 0 {
+		store.Recovery.Deadline = oc.StoreTimeout
+		opTimeout := oc.StoreTimeout / 4
+		if opTimeout < 50*time.Millisecond {
+			opTimeout = 50 * time.Millisecond
+		}
+		store.Recovery.OpTimeout = opTimeout
+	}
 	if oc.StoreAddr != "" || oc.StoreDial != nil {
 		dial := oc.StoreDial
 		if dial == nil {
@@ -142,8 +174,15 @@ func ClassifierOffloaded(m *models.Model, ds *data.Classification, cfg Config, o
 		}
 		// The client shares the store's counter block, so network faults
 		// and verified bytes land in the same Stats() the caller reads.
-		store.Transport = transport.NewNetClient(dial, store.Counters())
+		client := transport.NewNetClient(dial, store.Counters())
+		client.OpTimeout = store.Recovery.OpTimeout
+		client.Hedge = oc.StoreHedge
+		if oc.StoreClient != nil {
+			oc.StoreClient(client)
+		}
+		store.Transport = client
 		store.KeyBase = oc.StoreKeyBase
+		store.Breaker = oc.Breaker
 		rep.MethodName += "+netstore"
 	}
 	defer store.Close()
@@ -170,6 +209,12 @@ func ClassifierOffloaded(m *models.Model, ds *data.Classification, cfg Config, o
 				return rep, store.Stats(), nil
 			}
 			opt.Step(m.Net.Params())
+		}
+		if oc.EpochEnd != nil {
+			// Between steps the store is drained (every restore deletes
+			// its entry), so this is the safe, reproducible point for a
+			// harness to kill or restart the server.
+			oc.EpochEnd(epoch)
 		}
 		stats := EpochStats{Epoch: epoch, Loss: epochLoss / float64(cfg.BatchesPerEpoch)}
 		if compSum > 0 {

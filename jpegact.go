@@ -250,6 +250,21 @@ var (
 // match with errors.Is.
 var ErrOffloadDropped = offload.ErrDropped
 
+// ErrStoreUnavailable is the typed verdict for a wire operation whose
+// whole reconnect+resend schedule failed at the connection level — the
+// activation store is dead or unreachable. The store's circuit breaker
+// counts exactly these before degrading to local offload; match with
+// errors.Is.
+var ErrStoreUnavailable = offload.ErrStoreUnavailable
+
+// StoreBreakerConfig tunes the circuit breaker guarding a networked
+// activation store (see OffloadTrainOptions.Breaker): consecutive
+// whole-op wire failures trip it and offloads degrade to an in-process
+// fallback holding the identical encoded bytes, so training continues
+// bit-identically through a dead store. The zero value is an enabled
+// breaker with default thresholds.
+type StoreBreakerConfig = offload.BreakerConfig
+
 // OffloadTransport is the pluggable byte-path backend interface the
 // store is written against: the in-process channel backend, or a wire
 // client talking to a shared activation-store server.

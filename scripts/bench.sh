@@ -46,11 +46,16 @@ echo "wrote $kout (cores=$(nproc)); merge into BENCH_kernels.json by hand"
 # Networked activation store: multi-client training load against an
 # in-process actstore server on a unix socket, sweeping 1/2/4 clients
 # and recording aggregate throughput plus request-latency percentiles.
-# The command exits non-zero if any client's trajectory diverges from
-# the local in-process reference.
-go run ./cmd/offloadbench -net -clients 1,2,4 > BENCH_netstore.json
+# Runs with 2-way replication and 5ms hedged GETs so the report also
+# carries the failure-domain overheads: the replicated-overhead pass
+# compares one client's PUT p95 against single- vs two-replica servers
+# (acceptance: replicated_p95_overhead <= 1.25) and the hedged counter
+# shows how often the tail raced a second connection. The command exits
+# non-zero if any client's trajectory diverges from the local
+# in-process reference.
+go run ./cmd/offloadbench -net -clients 1,2,4 -replicas 2 -hedge 5ms > BENCH_netstore.json
 echo "wrote BENCH_netstore.json:"
-grep -E 'clients|throughput|p99|trajectory' BENCH_netstore.json
+grep -E 'clients|throughput|p99|trajectory|replica|hedged' BENCH_netstore.json
 
 # Frequency-domain restore: the spatial vs coefficient-path backward pair
 # (BN + 1x1 conv over offload-restored activations) plus the TrainStep
