@@ -35,6 +35,14 @@ bench-offload:
 	go run ./cmd/offloadbench > BENCH_offload.json
 	@grep -E 'speedup|trajectory' BENCH_offload.json
 
+# Data-parallel replica scaling sweep (K=1,2,4 over the gradient
+# exchange); writes BENCH_dataparallel.json at the repo root and fails
+# if any replica count diverges from K=1's weights bit-for-bit.
+.PHONY: bench-dp
+bench-dp:
+	go run ./cmd/offloadbench -dp -dp-replicas 1,2,4 > BENCH_dataparallel.json
+	@grep -E 'replicas|speedup|weights_match' BENCH_dataparallel.json
+
 # Fuzz sweep: every decoder fuzz target for 10s each. Go runs one fuzz
 # target per invocation, so loop over the discovered names in each fuzzed
 # package. The decoders facing untrusted bytes — the offload container

@@ -23,6 +23,14 @@
 // namespaces this trainer's keys when several share one server:
 //
 //	acttrain -model ResNet18 -offload -async -store unix:/tmp/actstore.sock -store-key 1
+//
+// With -replicas K the step runs data-parallel: K workers train on
+// disjoint microbatch shards and exchange compressed gradients through
+// the activation-store transport (in-process, or a shared networked
+// store with -store). Final weights are bit-identical for any K up to
+// -microbatches:
+//
+//	acttrain -model ResNet18 -replicas 4 -microbatches 4 -grad-codec quant
 package main
 
 import (
@@ -98,6 +106,12 @@ func main() {
 		"with -store: hedge restores slower than this on a second connection (0 = off)")
 	noDegrade := flag.Bool("no-degrade", false,
 		"with -store: disable the circuit breaker; wire failures fail the run instead of degrading to local offload")
+	replicas := flag.Int("replicas", 0,
+		"data-parallel replica workers exchanging gradients through the activation-store transport (0 = regular single-worker training)")
+	microbatches := flag.Int("microbatches", 4,
+		"with -replicas: fixed microbatches per step; weights are bit-identical for any replica count up to this")
+	gradCodec := flag.String("grad-codec", "raw",
+		"with -replicas: gradient exchange codec, raw (lossless) or quant (int8+ZVC)")
 	flag.Parse()
 
 	m, ok := methodByName(*method)
@@ -110,6 +124,16 @@ func main() {
 		BatchSize: *batch, LR: *lr, MeasureError: true,
 	}
 	sc := jpegact.ModelScale{Width: *width, Blocks: *blocks}
+
+	if *replicas > 0 {
+		if *useOffload {
+			fmt.Fprintln(os.Stderr, "acttrain: -replicas runs its own transport; drop -offload")
+			os.Exit(2)
+		}
+		runDataParallel(*model, sc, cfg, *seed, *replicas, *microbatches, *gradCodec,
+			*store, *storeTimeout, *storeHedge)
+		return
+	}
 
 	if *useOffload {
 		runOffloaded(*model, sc, cfg, *seed, *policy, *flip, *trunc, *drop, *faultSeed,
@@ -148,6 +172,55 @@ func main() {
 				float64(fe.OriginalBytes)/float64(fe.CompressedBytes))
 		}
 	}
+	if rep.Diverged {
+		os.Exit(1)
+	}
+}
+
+// runDataParallel trains with K replica workers exchanging gradients
+// through the activation-store transport (in-process by default; a
+// shared networked store with -store) and reports the exchange counters.
+func runDataParallel(model string, sc jpegact.ModelScale, cfg jpegact.TrainConfig, seed uint64, replicas, microbatches int, gradCodec, store string, storeTimeout, storeHedge time.Duration) {
+	if model == "VDSR" {
+		fmt.Fprintln(os.Stderr, "acttrain: -replicas supports the classification models only")
+		os.Exit(2)
+	}
+	dp := jpegact.DataParallelOptions{
+		Replicas: replicas, Microbatches: microbatches,
+		StoreTimeout: storeTimeout, StoreHedge: storeHedge, Verbose: true,
+	}
+	switch strings.ToLower(gradCodec) {
+	case "", "raw":
+		dp.GradCodec = jpegact.GradCodecRaw
+	case "quant":
+		dp.GradCodec = jpegact.GradCodecQuant
+	default:
+		fmt.Fprintf(os.Stderr, "acttrain: unknown grad codec %q (raw|quant)\n", gradCodec)
+		os.Exit(2)
+	}
+	if store != "" {
+		dial, err := jpegact.DialActivationStore(store)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acttrain: %v\n", err)
+			os.Exit(1)
+		}
+		dp.StoreDial = dial
+	}
+	cfg.Seed = seed
+
+	rep, snap, err := jpegact.TrainClassifierDataParallel(model, sc, cfg, dp, seed)
+	fmt.Printf("model=%s method=%s\n", rep.ModelName, rep.MethodName)
+	fmt.Printf("%-6s %-9s %-9s\n", "epoch", "loss", "score")
+	for _, e := range rep.Epochs {
+		fmt.Printf("%-6d %-9.4f %-9.4f\n", e.Epoch, e.Loss, e.Score)
+	}
+	fmt.Printf("exchange: grad_puts=%d grad_gets=%d grad_bytes=%d reconnects=%d\n",
+		snap.GradPuts, snap.GradGets, snap.BytesGrad, snap.Reconnects)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acttrain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("best score %.4f, diverged=%v\n", rep.BestScore, rep.Diverged)
 	if rep.Diverged {
 		os.Exit(1)
 	}

@@ -1,0 +1,206 @@
+package main
+
+// The -dp mode: data-parallel scaling sweep. For each replica count K
+// the full deterministic trainer runs (train.ClassifierDataParallel) —
+// same model seed, same data stream, same M microbatches — exchanging
+// compressed gradients through the activation-store transport. The
+// report carries measured wall-clock scaling next to the gpusim ring
+// all-reduce prediction, and asserts that every K lands on weights
+// bit-identical to K=1 (weights_match).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"jpegact/internal/benchmeta"
+	"jpegact/internal/data"
+	"jpegact/internal/frame"
+	"jpegact/internal/gpusim"
+	"jpegact/internal/models"
+	"jpegact/internal/nn"
+	"jpegact/internal/offload/transport"
+	"jpegact/internal/tensor"
+	"jpegact/internal/train"
+)
+
+type dpBenchConfig struct {
+	addr         string // external store ("" = in-process transport)
+	replicas     string // sweep spec, e.g. "1,2,4"
+	microbatches int
+	gradCodec    string
+	steps        int
+	batch        int
+	width        int
+	procs        int
+	storeTimeout time.Duration
+}
+
+type dpKResult struct {
+	Replicas         int     `json:"replicas"`
+	TotalMS          float64 `json:"total_ms"`
+	MSPerStep        float64 `json:"ms_per_step"`
+	MeasuredSpeedup  float64 `json:"measured_speedup"`
+	PredictedSpeedup float64 `json:"predicted_speedup"`
+	GradPuts         uint64  `json:"grad_puts"`
+	GradGets         uint64  `json:"grad_gets"`
+	BytesGrad        int64   `json:"bytes_grad"`
+	Reconnects       uint64  `json:"reconnects,omitempty"`
+	WeightsMatch     bool    `json:"weights_match"`
+}
+
+type dpReport struct {
+	Benchmark    string         `json:"benchmark"`
+	Meta         benchmeta.Meta `json:"meta"`
+	Model        string         `json:"model"`
+	BatchSize    int            `json:"batch_size"`
+	Microbatches int            `json:"microbatches"`
+	Steps        int            `json:"steps"`
+	GradCodec    string         `json:"grad_codec"`
+	GradBytes    int            `json:"grad_bytes"` // raw float32 gradient footprint
+	Addr         string         `json:"addr,omitempty"`
+	Results      []dpKResult    `json:"results"`
+	WeightsMatch bool           `json:"weights_match"` // all K bit-identical to K=1
+}
+
+func parseGradCodec(s string) frame.Codec {
+	switch s {
+	case "", "raw":
+		return frame.CodecGradRaw
+	case "quant":
+		return frame.CodecGradQuant
+	}
+	fatal("dp", fmt.Errorf("unknown -grad-codec %q (want raw or quant)", s))
+	return 0
+}
+
+// runDPBench drives the replica sweep and writes the JSON report to
+// stdout (make bench-dp lands it in BENCH_dataparallel.json).
+func runDPBench(cfg dpBenchConfig) {
+	codec := parseGradCodec(cfg.gradCodec)
+	if cfg.microbatches <= 0 {
+		cfg.microbatches = 4
+	}
+	ks := parseClients(cfg.replicas) // same "1,2,4" spec syntax as -clients
+
+	var dial transport.Dialer
+	if cfg.addr != "" {
+		d, err := transport.DialAddr(cfg.addr)
+		if err != nil {
+			fatal("dp", err)
+		}
+		dial = d
+	}
+
+	trainCfg := train.Config{
+		Epochs: 1, BatchesPerEpoch: cfg.steps, BatchSize: cfg.batch,
+		LR: 0.05, Seed: 42,
+	}
+	newFixture := func() (func() *models.Model, func() *models.Model, *data.Classification) {
+		var first *models.Model
+		factory := func() *models.Model {
+			m := models.ResNet18(models.Scale{Width: cfg.width, Blocks: 1}, 2, tensor.NewRNG(42))
+			if first == nil {
+				first = m
+			}
+			return m
+		}
+		ds := data.NewClassification(data.ClassificationConfig{
+			Classes: 2, Channels: 3, H: 16, W: 16, Seed: 43,
+		})
+		return factory, func() *models.Model { return first }, ds
+	}
+
+	// The gradient footprint (for the report and the gpusim prediction).
+	probe := models.ResNet18(models.Scale{Width: cfg.width, Blocks: 1}, 2, tensor.NewRNG(42))
+	gradBytes := 4 * nn.GradSize(probe.Net)
+	gradRatio := 1.0
+	if codec == frame.CodecGradQuant {
+		gradRatio = 4 // int8 + scale vs float32, before ZVC
+	}
+
+	// Analytic prediction: the ring all-reduce model over the paper's
+	// platform on the matching full-scale workload.
+	var workload gpusim.Workload
+	for _, w := range gpusim.Workloads() {
+		if w.Name == "ResNet18/IN" {
+			workload = w
+		}
+	}
+	simCfg := gpusim.TitanV(4)
+	predicted := map[int]float64{}
+	for _, r := range gpusim.DPSweep(workload, gpusim.JPEGAct(gpusim.JPEGActDefaultRatios()), simCfg,
+		gpusim.DPConfig{GradBytes: float64(gradBytes), GradRatio: gradRatio}, ks) {
+		predicted[r.GPUs] = r.Speedup
+	}
+
+	rep := dpReport{
+		Benchmark:    "dataparallel_scaling",
+		Meta:         benchmeta.Collect(),
+		Model:        fmt.Sprintf("ResNet18/w%d", cfg.width),
+		BatchSize:    cfg.batch,
+		Microbatches: cfg.microbatches,
+		Steps:        cfg.steps,
+		GradCodec:    codec.String(),
+		GradBytes:    gradBytes,
+		Addr:         cfg.addr,
+		WeightsMatch: true,
+	}
+
+	var refWeights []float32
+	var refWall float64
+	for _, k := range ks {
+		factory, lead, ds := newFixture()
+		start := time.Now()
+		_, snap, err := train.ClassifierDataParallel(factory, ds, trainCfg, train.DPOptions{
+			Replicas: k, Microbatches: cfg.microbatches, GradCodec: codec,
+			StoreDial: dial, StoreTimeout: cfg.storeTimeout,
+		})
+		if err != nil {
+			fatal("dp", err)
+		}
+		wall := float64(time.Since(start).Microseconds()) / 1e3
+		weights := train.DPFinalWeights(lead())
+		if refWeights == nil {
+			refWeights, refWall = weights, wall
+		}
+		match := len(weights) == len(refWeights)
+		if match {
+			for i := range weights {
+				if weights[i] != refWeights[i] {
+					match = false
+					break
+				}
+			}
+		}
+		if !match {
+			rep.WeightsMatch = false
+		}
+		res := dpKResult{
+			Replicas:         k,
+			TotalMS:          wall,
+			MSPerStep:        wall / float64(cfg.steps),
+			MeasuredSpeedup:  refWall / wall,
+			PredictedSpeedup: predicted[k],
+			GradPuts:         snap.GradPuts,
+			GradGets:         snap.GradGets,
+			BytesGrad:        snap.BytesGrad,
+			Reconnects:       snap.Reconnects,
+			WeightsMatch:     match,
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(os.Stderr, "offloadbench: dp K=%d wall=%.0fms speedup=%.2fx (predicted %.2fx) grad_puts=%d grad_gets=%d grad_bytes=%d match=%v\n",
+			k, wall, res.MeasuredSpeedup, res.PredictedSpeedup, snap.GradPuts, snap.GradGets, snap.BytesGrad, match)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal("dp", err)
+	}
+	if !rep.WeightsMatch {
+		fmt.Fprintln(os.Stderr, "offloadbench: dp replica counts disagree on the final weights")
+		os.Exit(1)
+	}
+}

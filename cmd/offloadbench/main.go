@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"jpegact/internal/benchmeta"
 	"jpegact/internal/compress"
 	"jpegact/internal/data"
 	"jpegact/internal/models"
@@ -68,15 +69,16 @@ type modeResult struct {
 }
 
 type report struct {
-	Benchmark       string       `json:"benchmark"`
-	Model           string       `json:"model"`
-	BatchSize       int          `json:"batch_size"`
-	GOMAXPROCS      int          `json:"gomaxprocs"`
-	LatencyUS       float64      `json:"channel_latency_us"`
-	BandwidthGBps   float64      `json:"channel_bandwidth_gbps"`
-	Results         []modeResult `json:"results"`
-	SpeedupPrefetch float64      `json:"speedup_async_prefetch_vs_sync"`
-	TrajectoryMatch bool         `json:"trajectory_match"`
+	Benchmark       string         `json:"benchmark"`
+	Meta            benchmeta.Meta `json:"meta"`
+	Model           string         `json:"model"`
+	BatchSize       int            `json:"batch_size"`
+	GOMAXPROCS      int            `json:"gomaxprocs"`
+	LatencyUS       float64        `json:"channel_latency_us"`
+	BandwidthGBps   float64        `json:"channel_bandwidth_gbps"`
+	Results         []modeResult   `json:"results"`
+	SpeedupPrefetch float64        `json:"speedup_async_prefetch_vs_sync"`
+	TrajectoryMatch bool           `json:"trajectory_match"`
 }
 
 // runMode trains `steps` batches through the offload engine and times
@@ -230,12 +232,25 @@ func main() {
 	hedge := flag.Duration("hedge", 0, "with -net: hedge GETs slower than this on a second connection (0 = off)")
 	storeTimeout := flag.Duration("store-timeout", 5*time.Second, "with -net: total wall budget per wire op across reconnect+resend (0 = unbounded)")
 	chaos := flag.Uint64("chaos", 0, "with -net: seed for deterministic connection chaos (resets, stalls, latency spikes; 0 = off)")
+	dpMode := flag.Bool("dp", false, "benchmark data-parallel replica scaling over the gradient-exchange transport")
+	dpReplicas := flag.String("dp-replicas", "1,2,4", "comma-separated replica counts for the -dp sweep")
+	microbatches := flag.Int("microbatches", 4, "with -dp: fixed microbatches per step (sets the replica ceiling)")
+	gradCodec := flag.String("grad-codec", "raw", "with -dp: gradient codec (raw or quant)")
 	flag.Parse()
 
 	procs := ensureProcs()
 	const prefetch = 4
 	fmt.Fprintf(os.Stderr, "offloadbench: gomaxprocs=%d workers=%d prefetch=%d steps=%d batch=%d width=%d\n",
 		procs, procs, prefetch, *steps, *batch, *width)
+
+	if *dpMode {
+		runDPBench(dpBenchConfig{
+			addr: *addr, replicas: *dpReplicas, microbatches: *microbatches,
+			gradCodec: *gradCodec, steps: *steps, batch: *batch, width: *width,
+			procs: procs, storeTimeout: *storeTimeout,
+		})
+		return
+	}
 
 	if *netMode {
 		runNetBench(netBenchConfig{
@@ -250,6 +265,7 @@ func main() {
 	simSetup := func(s *offload.Store) { s.Channel = ch }
 	rep := report{
 		Benchmark:     "offload_step_walltime",
+		Meta:          benchmeta.Collect(),
 		Model:         fmt.Sprintf("ResNet18/w%d", *width),
 		BatchSize:     *batch,
 		GOMAXPROCS:    procs,

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"jpegact/internal/benchmeta"
 	"jpegact/internal/netfaults"
 	"jpegact/internal/offload"
 	"jpegact/internal/offload/netstore"
@@ -73,6 +74,7 @@ type netClientsResult struct {
 
 type netReport struct {
 	Benchmark    string              `json:"benchmark"`
+	Meta         benchmeta.Meta      `json:"meta"`
 	Model        string              `json:"model"`
 	BatchSize    int                 `json:"batch_size"`
 	Steps        int                 `json:"steps"`
@@ -230,6 +232,7 @@ func runNetBench(cfg netBenchConfig) {
 
 	rep := netReport{
 		Benchmark:       "netstore_multiclient",
+		Meta:            benchmeta.Collect(),
 		Model:           fmt.Sprintf("ResNet18/w%d", cfg.width),
 		BatchSize:       cfg.batch,
 		Steps:           cfg.steps,

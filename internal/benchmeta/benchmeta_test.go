@@ -1,0 +1,35 @@
+package benchmeta
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestCollect: the always-available fields must be filled from the
+// runtime, and the block must serialize under the shared schema keys.
+func TestCollect(t *testing.T) {
+	m := Collect()
+	if m.OS != runtime.GOOS || m.Arch != runtime.GOARCH {
+		t.Fatalf("os/arch %s/%s", m.OS, m.Arch)
+	}
+	if m.Cores < 1 || m.GOMAXPROCS < 1 {
+		t.Fatalf("cores=%d gomaxprocs=%d", m.Cores, m.GOMAXPROCS)
+	}
+	if m.GoVersion == "" {
+		t.Fatal("empty go version")
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys map[string]any
+	if err := json.Unmarshal(b, &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"machine", "os", "arch", "cores", "gomaxprocs", "go_version"} {
+		if _, ok := keys[k]; !ok {
+			t.Fatalf("schema key %q missing from %s", k, b)
+		}
+	}
+}

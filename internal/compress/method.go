@@ -21,6 +21,10 @@ const (
 	KindReLUToConv
 	// KindPoolDropout is a pooling or dropout output.
 	KindPoolDropout
+	// KindGradient is a flattened weight-gradient chunk exchanged by the
+	// data-parallel trainer — signed, near-Gaussian values, unlike the
+	// nonnegative post-ReLU activations the other kinds describe.
+	KindGradient
 )
 
 // String names the kind as in Table II.
@@ -34,6 +38,8 @@ func (k Kind) String() string {
 		return "ReLU(to conv)"
 	case KindPoolDropout:
 		return "pool/dropout"
+	case KindGradient:
+		return "gradient"
 	}
 	return "unknown"
 }

@@ -9,7 +9,7 @@
 //
 //	off  0  magic   "JAFR"
 //	off  4  version u8  (currently 1)
-//	off  5  codec   u8  (CodecBRC | CodecJPEG | CodecZVC)
+//	off  5  codec   u8  (CodecBRC | CodecJPEG | CodecZVC | CodecGradRaw | CodecGradQuant)
 //	off  6  kind    u8  (compress.Kind of the activation)
 //	off  7  flags   u8  (reserved, must be 0)
 //	off  8  shape   4×u32 (N, C, H, W)
@@ -60,6 +60,14 @@ const (
 	CodecJPEG Codec = 2
 	// CodecZVC: payload is ZVC-coded SFPR int8 values (sparse path).
 	CodecZVC Codec = 3
+	// CodecGradRaw: payload is raw little-endian float32 gradient
+	// values — the lossless escape hatch the data-parallel exchange
+	// defaults to, so bit-exact all-reduce holds by construction.
+	CodecGradRaw Codec = 4
+	// CodecGradQuant: payload is ZVC-coded int8 gradient values with a
+	// single max-abs scale — the error-bounded lossy gradient path
+	// (|err| ≤ scale/2 per element).
+	CodecGradQuant Codec = 5
 )
 
 // String implements fmt.Stringer.
@@ -71,6 +79,10 @@ func (c Codec) String() string {
 		return "jpeg"
 	case CodecZVC:
 		return "zvc"
+	case CodecGradRaw:
+		return "grad-raw"
+	case CodecGradQuant:
+		return "grad-quant"
 	}
 	return fmt.Sprintf("codec(%d)", uint8(c))
 }
@@ -157,7 +169,7 @@ func DecodeFrame(b []byte) (*Frame, error) {
 		return nil, fmt.Errorf("%w: version %d", ErrVersion, b[4])
 	}
 	codec := Codec(b[5])
-	if codec < CodecBRC || codec > CodecZVC {
+	if codec < CodecBRC || codec > CodecGradQuant {
 		return nil, fmt.Errorf("%w: %s", ErrHeader, codec)
 	}
 	if b[7] != 0 {

@@ -1,0 +1,85 @@
+package gpusim
+
+// K-GPU data-parallel scaling model: each of k GPUs runs the full
+// forward/backward schedule on 1/k of the step's microbatches, then the
+// replicas exchange weight gradients over the host interconnect (PCIe
+// in the paper's platform, Table V) before the synchronous update. The
+// exchange is modelled as a ring all-reduce: each GPU moves
+// 2·(k-1)/k · gradBytes over its PCIe link, compressed by the gradient
+// codec's ratio. The model is intentionally simple — it predicts the
+// shape of the measured scaling sweep (cmd/offloadbench -dp), not
+// absolute times.
+
+// DPConfig parameterizes the data-parallel scaling model.
+type DPConfig struct {
+	// GPUs is k, the replica count (≥ 1).
+	GPUs int
+	// GradBytes is the float32 weight-gradient footprint one replica
+	// publishes per step.
+	GradBytes float64
+	// GradRatio is the gradient codec's compression ratio over the
+	// exchange (1 = CodecGradRaw; > 1 for the quantized codec).
+	GradRatio float64
+	// ReduceSeconds is the per-step fixed cost of the reduction itself
+	// (the fixed-order accumulate, barriers). 0 = ignore.
+	ReduceSeconds float64
+}
+
+// DPResult is one simulated data-parallel step.
+type DPResult struct {
+	GPUs           int
+	ComputeSeconds float64 // per-GPU forward+backward share
+	ExchangeSec    float64 // ring all-reduce wall time
+	TotalSeconds   float64
+	// Speedup is versus the same model at GPUs=1.
+	Speedup float64
+	// Efficiency is Speedup / GPUs.
+	Efficiency float64
+}
+
+// SimulateDataParallel predicts one data-parallel training step of
+// workload w under scheme s on k GPUs of the given platform. Compute
+// (including the offload machinery of Simulate) divides by k — the
+// microbatches are disjoint — while the gradient exchange grows with
+// the ring term 2(k-1)/k and does not shrink. Speedup is therefore
+// sublinear and monotone in dp.GradBytes.
+func SimulateDataParallel(w Workload, s Scheme, cfg Config, dp DPConfig) DPResult {
+	k := dp.GPUs
+	if k < 1 {
+		k = 1
+	}
+	ratio := dp.GradRatio
+	if ratio <= 0 {
+		ratio = 1
+	}
+	stepCompute := Simulate(w, s, cfg).Total()
+
+	perGPU := stepCompute / float64(k)
+	var exchange float64
+	if k > 1 {
+		wire := dp.GradBytes / ratio
+		exchange = 2 * float64(k-1) / float64(k) * wire / (cfg.PCIeGBs * 1e9)
+	}
+	total := perGPU + exchange + dp.ReduceSeconds
+	base := stepCompute + dp.ReduceSeconds
+	res := DPResult{
+		GPUs:           k,
+		ComputeSeconds: perGPU,
+		ExchangeSec:    exchange,
+		TotalSeconds:   total,
+		Speedup:        base / total,
+	}
+	res.Efficiency = res.Speedup / float64(k)
+	return res
+}
+
+// DPSweep runs SimulateDataParallel for each replica count in ks.
+func DPSweep(w Workload, s Scheme, cfg Config, dp DPConfig, ks []int) []DPResult {
+	out := make([]DPResult, 0, len(ks))
+	for _, k := range ks {
+		d := dp
+		d.GPUs = k
+		out = append(out, SimulateDataParallel(w, s, cfg, d))
+	}
+	return out
+}

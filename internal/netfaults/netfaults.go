@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"jpegact/internal/splitmix"
 )
 
 // ErrInjected marks every failure this package fabricates, so tests
@@ -103,20 +105,10 @@ func (i *Injector) Stats() Snapshot {
 	}
 }
 
-// mix64 is the splitmix64 finalizer (same mixer the netstore shards
-// use), here seeding and advancing the per-conn streams.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
 // Wrap returns conn with the injector's fault schedule applied. Each
 // call consumes the next connection index, so wrap order — dial order —
-// fixes which stream a connection gets.
+// fixes which stream a connection gets. Streams are splitmix64 (the
+// shared internal/splitmix mixer, same one the netstore shards use).
 func (i *Injector) Wrap(conn net.Conn) net.Conn {
 	n := i.stats.Conns.Add(1) - 1
 	return &faultConn{
@@ -124,7 +116,7 @@ func (i *Injector) Wrap(conn net.Conn) net.Conn {
 		inj:  i,
 		// Offset the seed so conn 0 of seed 1 shares nothing with
 		// conn 1 of seed 0.
-		state: mix64(i.cfg.Seed ^ (n+1)*0x9e3779b97f4a7c15),
+		state: splitmix.Mix(i.cfg.Seed ^ (n+1)*splitmix.Gamma),
 	}
 }
 
@@ -155,8 +147,8 @@ type faultConn struct {
 
 // next advances the conn's splitmix64 stream.
 func (c *faultConn) next() uint64 {
-	c.state += 0x9e3779b97f4a7c15
-	return mix64(c.state)
+	c.state += splitmix.Gamma
+	return splitmix.Mix(c.state)
 }
 
 // chance draws one fault decision.

@@ -1,0 +1,79 @@
+package nn
+
+// Parameter/gradient walk for the data-parallel exchange: the trainer
+// needs every replica to see the network's gradient as one flat vector
+// in one deterministic order, so that the fixed-order all-reduce over
+// the activation-store transport is well-defined. The order is the
+// order of root.Params() — a pure function of the architecture, so two
+// replicas built by the same constructor walk identically.
+
+import "jpegact/internal/splitmix"
+
+// GradSize returns the total element count of all parameter gradients
+// under root — the length FlattenGrads fills and ImportGrads consumes.
+func GradSize(root Layer) int {
+	n := 0
+	for _, p := range root.Params() {
+		n += p.Grad.Elems()
+	}
+	return n
+}
+
+// FlattenGrads copies every parameter gradient under root into dst in
+// Params() order and returns the number of elements written. dst must
+// hold at least GradSize(root) elements.
+func FlattenGrads(root Layer, dst []float32) int {
+	off := 0
+	for _, p := range root.Params() {
+		off += copy(dst[off:], p.Grad.Data)
+	}
+	return off
+}
+
+// ImportGrads overwrites every parameter gradient under root from the
+// flat vector src, scaling each element by scale on the way in (the
+// 1/M microbatch average is applied here, exactly once, as one
+// deterministic float32 multiply per element). src must hold exactly
+// GradSize(root) elements; a mismatch panics — it means the vector
+// came from a different architecture, which no error return can make
+// safe to continue from.
+func ImportGrads(root Layer, src []float32, scale float32) {
+	off := 0
+	for _, p := range root.Params() {
+		n := p.Grad.Elems()
+		if off+n > len(src) {
+			panic("nn: ImportGrads vector shorter than the network's gradient")
+		}
+		for i := 0; i < n; i++ {
+			p.Grad.Data[i] = src[off+i] * scale
+		}
+		off += n
+	}
+	if off != len(src) {
+		panic("nn: ImportGrads vector longer than the network's gradient")
+	}
+}
+
+// SaltNetState returns a copy of st with every RNG-position entry (the
+// Dropout snapshots — the only uint64 entries a NetState holds)
+// deterministically perturbed by salt, leaving BatchNorm running-stat
+// snapshots untouched. The data-parallel trainer restores each
+// microbatch's forward from the same step-start snapshot salted with
+// the microbatch index, so every microbatch draws a distinct, replica-
+// independent dropout mask while BN statistics stay anchored to the
+// step start. salt 0 returns an unperturbed copy, so microbatch 0 —
+// the one whose post-forward state the step adopts — replays exactly
+// the single-replica schedule. Entries holding equal RNG positions
+// (layers sharing one RNG) salt to equal positions, preserving the
+// sharing structure.
+func SaltNetState(st NetState, salt uint64) NetState {
+	out := make(NetState, len(st))
+	for i, e := range st {
+		if pos, ok := e.(uint64); ok && salt != 0 {
+			out[i] = splitmix.Mix(pos ^ salt*splitmix.Gamma)
+			continue
+		}
+		out[i] = e
+	}
+	return out
+}

@@ -43,3 +43,46 @@ func FuzzDecodeCoefficients(f *testing.F) {
 		pl.Release()
 	})
 }
+
+// FuzzDecodeGradient drives arbitrary container bytes through the
+// gradient decode paths (CodecGradRaw and CodecGradQuant). Malformed
+// frames — wrong payload length, bad scale counts, non-finite scales,
+// corrupt ZVC bodies — must fail with an error, never a panic, and a
+// successful decode must honour the frame's declared shape.
+func FuzzDecodeGradient(f *testing.F) {
+	r := tensor.NewRNG(11)
+	x := tensor.New(1, 1, 1, 512)
+	for i := range x.Data {
+		if i%3 != 0 {
+			x.Data[i] = float32(r.Norm() * 1e-3)
+		}
+	}
+	p := New(quant.OptL())
+	for _, c := range []frame.Codec{frame.CodecGradRaw, frame.CodecGradQuant} {
+		enc, err := p.EncodeGradient(c, x)
+		if err != nil {
+			f.Fatal(err)
+		}
+		valid := frame.EncodeFrame(enc.Frame)
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		fr, err := frame.DecodeFrame(raw)
+		if err != nil {
+			return
+		}
+		if fr.Codec != frame.CodecGradRaw && fr.Codec != frame.CodecGradQuant {
+			return
+		}
+		out, err := p.Decode(fr)
+		if err != nil {
+			return
+		}
+		if out.Shape != fr.Shape {
+			t.Fatalf("tensor shape %v, frame shape %v", out.Shape, fr.Shape)
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package codec
+
+// Gradient codecs for the data-parallel exchange: weight gradients are
+// signed, near-Gaussian and carry no spatial structure, so the 8×8 DCT
+// path is useless to them — what works is either shipping the raw
+// float32 values (CodecGradRaw, lossless: the default, which is what
+// lets the all-reduce stay bit-exact by construction) or an
+// error-bounded int8 quantization with the ZVC coder reused over the
+// quantized values (CodecGradQuant: one max-abs scale per chunk, so
+// every element's reconstruction error is at most scale/2).
+//
+// Both codecs are registered like the activation codecs, but they are
+// never chosen by Select — gradients are not activations, and the
+// caller picks the codec explicitly through EncodeGradient.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"jpegact/internal/coding"
+	"jpegact/internal/compress"
+	"jpegact/internal/frame"
+	"jpegact/internal/tensor"
+)
+
+func init() {
+	Register(frame.CodecGradRaw, encodeGradRaw, decodeGradRaw)
+	Register(frame.CodecGradQuant, encodeGradQuant, decodeGradQuant)
+}
+
+// EncodeGradient compresses a flattened gradient chunk with the given
+// gradient codec (CodecGradRaw or CodecGradQuant), bypassing the
+// Table II activation policy.
+func (p Pipeline) EncodeGradient(c frame.Codec, x *tensor.Tensor) (Encoded, error) {
+	if c != frame.CodecGradRaw && c != frame.CodecGradQuant {
+		return Encoded{}, fmt.Errorf("codec: %s is not a gradient codec", c)
+	}
+	return registry[c].encode(p, compress.KindGradient, x)
+}
+
+// GradQuantErrorBound returns the per-element reconstruction error
+// bound of a CodecGradQuant frame with the given scale.
+func GradQuantErrorBound(scale float32) float32 {
+	return scale / 2
+}
+
+func encodeGradRaw(_ Pipeline, kind compress.Kind, x *tensor.Tensor) (Encoded, error) {
+	f := &frame.Frame{Codec: frame.CodecGradRaw, Kind: uint8(kind), Shape: x.Shape}
+	f.Payload = make([]byte, 4*len(x.Data))
+	for i, v := range x.Data {
+		binary.LittleEndian.PutUint32(f.Payload[4*i:], math.Float32bits(v))
+	}
+	return Encoded{Frame: f}, nil
+}
+
+func decodeGradRaw(_ Pipeline, f *frame.Frame) (*tensor.Tensor, error) {
+	n := f.Shape.Elems()
+	if len(f.Payload) != 4*n {
+		return nil, fmt.Errorf("%w: %d payload bytes for %d gradient values", frame.ErrHeader, len(f.Payload), n)
+	}
+	if len(f.Scales) != 0 {
+		return nil, fmt.Errorf("%w: %d scales on a raw gradient frame", frame.ErrHeader, len(f.Scales))
+	}
+	out := tensor.New(f.Shape.N, f.Shape.C, f.Shape.H, f.Shape.W)
+	for i := range out.Data {
+		out.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(f.Payload[4*i:]))
+	}
+	return out, nil
+}
+
+func encodeGradQuant(_ Pipeline, kind compress.Kind, x *tensor.Tensor) (Encoded, error) {
+	var maxAbs float32
+	for _, v := range x.Data {
+		if a := float32(math.Abs(float64(v))); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := maxAbs / 127
+	codes := make([]int8, len(x.Data))
+	if scale > 0 {
+		inv := 1 / scale
+		for i, v := range x.Data {
+			q := math.RoundToEven(float64(v * inv))
+			if q > 127 {
+				q = 127
+			} else if q < -127 {
+				q = -127
+			}
+			codes[i] = int8(q)
+		}
+	}
+	f := &frame.Frame{Codec: frame.CodecGradQuant, Kind: uint8(kind), Shape: x.Shape}
+	f.Payload = coding.EncodeZVC(codes)
+	f.Scales = []float32{scale}
+	return Encoded{Frame: f}, nil
+}
+
+func decodeGradQuant(_ Pipeline, f *frame.Frame) (*tensor.Tensor, error) {
+	if len(f.Scales) != 1 {
+		return nil, fmt.Errorf("%w: %d scales on a quantized gradient frame", frame.ErrHeader, len(f.Scales))
+	}
+	codes, err := coding.DecodeZVC(f.Payload, f.Shape.Elems())
+	if err != nil {
+		return nil, err
+	}
+	scale := f.Scales[0]
+	if math.IsNaN(float64(scale)) || math.IsInf(float64(scale), 0) || scale < 0 {
+		return nil, fmt.Errorf("%w: gradient scale %v", frame.ErrHeader, scale)
+	}
+	out := tensor.New(f.Shape.N, f.Shape.C, f.Shape.H, f.Shape.W)
+	for i, c := range codes {
+		out.Data[i] = float32(c) * scale
+	}
+	return out, nil
+}

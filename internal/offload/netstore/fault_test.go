@@ -10,6 +10,7 @@ import (
 
 	"jpegact/internal/frame"
 	"jpegact/internal/offload/transport"
+	"jpegact/internal/splitmix"
 )
 
 // killPrimaries wipes shards until some key in [0, n) has lost its
@@ -19,7 +20,7 @@ func killPrimary(t *testing.T, srv *Server, n int) uint64 {
 	t.Helper()
 	k := uint64(len(srv.shards))
 	for key := uint64(0); key < uint64(n); key++ {
-		shardIdx := int(mix64(key) % k)
+		shardIdx := int(splitmix.Mix(key) % k)
 		srv.KillShard(shardIdx)
 		sh := srv.shards[shardIdx]
 		sh.mu.Lock()

@@ -37,6 +37,7 @@ import (
 
 	"jpegact/internal/frame"
 	"jpegact/internal/offload/transport"
+	"jpegact/internal/splitmix"
 )
 
 func newBufReader(c net.Conn) *bufio.Reader { return bufio.NewReaderSize(c, 64<<10) }
@@ -123,26 +124,17 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// mix64 is the splitmix64 finalizer: store keys are small sequence
-// numbers with a per-client base in the high bits, so without mixing
-// consecutive keys from one client would all land on neighbouring
-// shards in lockstep.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
 // replicaSet returns the cfg.Replicas distinct shards responsible for
 // key, primary first. Replicas are the next shards in ring order, so
 // any two keys sharing a primary also share their whole set — losing
 // one shard leaves every key at least Replicas-1 surviving copies.
+// Keys are small sequence numbers with a per-client base in the high
+// bits, so the shared splitmix mixer spreads them: without it,
+// consecutive keys from one client would land on neighbouring shards
+// in lockstep.
 func (s *Server) replicaSet(key uint64) []*shard {
 	k := uint64(len(s.shards))
-	primary := mix64(key) % k
+	primary := splitmix.Mix(key) % k
 	set := make([]*shard, s.cfg.Replicas)
 	for i := range set {
 		set[i] = s.shards[(primary+uint64(i))%k]
@@ -326,6 +318,10 @@ func (s *Server) handleRequest(req transport.Request) (status uint8, body []byte
 		}
 		s.counters.Offloaded.Add(1)
 		s.counters.BytesOffloaded.Add(int64(len(req.Body)))
+		if transport.IsGradKey(req.Key) {
+			s.counters.GradPuts.Add(1)
+			s.counters.BytesGrad.Add(int64(len(req.Body)))
+		}
 		return transport.StatusOK, nil
 
 	case transport.OpGet, transport.OpGetCoef:
@@ -368,6 +364,10 @@ func (s *Server) handleRequest(req transport.Request) (status uint8, body []byte
 			s.counters.CoefRestores.Add(1)
 		}
 		s.counters.BytesVerified.Add(int64(len(b)))
+		if transport.IsGradKey(req.Key) {
+			s.counters.GradGets.Add(1)
+			s.counters.BytesGrad.Add(int64(len(b)))
+		}
 		return transport.StatusOK, b
 
 	case transport.OpDelete:

@@ -150,8 +150,11 @@ type Counters struct {
 	Degraded       atomic.Uint64 // operations served by the degraded local fallback (breaker open)
 	Hedged         atomic.Uint64 // hedge requests launched against a slow GET
 	ReplicaReads   atomic.Uint64 // GETs served by a non-primary replica shard
+	GradPuts       atomic.Uint64 // gradient frames put (keys in the grad namespace)
+	GradGets       atomic.Uint64 // gradient frames fetched back
 	BytesOffloaded atomic.Int64  // frame bytes written to the backend
 	BytesVerified  atomic.Int64  // frame bytes CRC-verified back from it
+	BytesGrad      atomic.Int64  // frame bytes moved under gradient keys (both directions)
 }
 
 // Snapshot is the plain-value copy of Counters — the one snapshot
@@ -168,8 +171,11 @@ type Snapshot struct {
 	Degraded       uint64 `json:"degraded"`
 	Hedged         uint64 `json:"hedged"`
 	ReplicaReads   uint64 `json:"replica_reads"`
+	GradPuts       uint64 `json:"grad_puts"`
+	GradGets       uint64 `json:"grad_gets"`
 	BytesOffloaded int64  `json:"bytes_offloaded"`
 	BytesVerified  int64  `json:"bytes_verified"`
+	BytesGrad      int64  `json:"bytes_grad"`
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -186,8 +192,11 @@ func (c *Counters) Snapshot() Snapshot {
 		Degraded:       c.Degraded.Load(),
 		Hedged:         c.Hedged.Load(),
 		ReplicaReads:   c.ReplicaReads.Load(),
+		GradPuts:       c.GradPuts.Load(),
+		GradGets:       c.GradGets.Load(),
 		BytesOffloaded: c.BytesOffloaded.Load(),
 		BytesVerified:  c.BytesVerified.Load(),
+		BytesGrad:      c.BytesGrad.Load(),
 	}
 }
 
@@ -211,8 +220,11 @@ func (s Snapshot) WriteMetrics(w io.Writer, namespace string) error {
 		{"degraded_total", "Operations served by the degraded local fallback", int64(s.Degraded)},
 		{"hedged_total", "Hedge requests launched against slow GETs", int64(s.Hedged)},
 		{"replica_reads_total", "GETs served by a non-primary replica shard", int64(s.ReplicaReads)},
+		{"grad_puts_total", "Gradient frames put to the store", int64(s.GradPuts)},
+		{"grad_gets_total", "Gradient frames fetched from the store", int64(s.GradGets)},
 		{"bytes_offloaded_total", "Frame bytes written to the store", s.BytesOffloaded},
 		{"bytes_verified_total", "Frame bytes CRC-verified back", s.BytesVerified},
+		{"bytes_grad_total", "Frame bytes moved under gradient keys", s.BytesGrad},
 	}
 	for _, r := range rows {
 		if _, err := fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n",

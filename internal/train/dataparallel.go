@@ -1,0 +1,407 @@
+package train
+
+// Deterministic data-parallel training: K replica workers each run
+// forward/backward on a disjoint share of a step's microbatches and
+// exchange compressed gradients through the activation-store transport
+// (in-process Local or the networked store), with a fixed-order exact
+// all-reduce that makes the final weights bit-identical for any K.
+//
+// The determinism contract, piece by piece:
+//
+//   - A step is always the same M microbatches, drawn centrally by the
+//     driver from the sequential data stream. K only controls which
+//     worker runs which microbatch (round-robin, m % K), never what
+//     the microbatches are.
+//   - Every microbatch forward starts from the step-start side-effect
+//     snapshot, with the dropout RNG positions salted by the
+//     microbatch index (nn.SaltNetState) — so microbatch m draws the
+//     same dropout masks no matter which worker runs it, and BN
+//     statistics are anchored to the step start for all of them.
+//   - Per-microbatch gradients cross the transport as framed chunks
+//     under the gradient key namespace (transport.GradKey). The
+//     reducer fetches them back in microbatch order 0..M-1 and
+//     accumulates in that fixed order — float32 addition is
+//     deterministic, only its order varies, and here it doesn't.
+//   - The reduced gradient is published once (slot 0) and every
+//     replica imports the same bytes, scales by 1/M exactly once, and
+//     steps its own optimizer. Identical weights + identical gradients
+//     + identical optimizer state stay identical forever.
+//   - The step's canonical post-forward state is microbatch 0's (the
+//     "lead" microbatch, always worker 0's first), adopted by every
+//     replica before the import — so BN running stats and RNG
+//     positions also evolve identically for any K.
+//
+// The default gradient codec is lossless (frame.CodecGradRaw), making
+// the bit-exactness hold by construction; the error-bounded quantized
+// codec (frame.CodecGradQuant) is opt-in and keeps the K-invariance
+// (quantization is deterministic) while trading gradient precision for
+// wire bytes.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"jpegact/internal/compress"
+	"jpegact/internal/data"
+	"jpegact/internal/frame"
+	"jpegact/internal/models"
+	"jpegact/internal/nn"
+	"jpegact/internal/offload/codec"
+	"jpegact/internal/offload/transport"
+	"jpegact/internal/quant"
+	"jpegact/internal/tensor"
+)
+
+// DPOptions configures the data-parallel trainer.
+type DPOptions struct {
+	// Replicas is K, the worker count (default 1). Each worker is a
+	// goroutine holding its own full model replica and optimizer.
+	Replicas int
+	// Microbatches is M, the fixed number of microbatches per step
+	// (default 4). Each draws cfg.BatchSize examples. The trajectory
+	// depends on M but never on Replicas; Replicas must not exceed M.
+	Microbatches int
+	// GradCodec selects the gradient wire codec: frame.CodecGradRaw
+	// (default, lossless) or frame.CodecGradQuant (error-bounded int8).
+	GradCodec frame.Codec
+	// StoreDial, when set, exchanges gradients through a networked
+	// activation store instead of the in-process transport. Every
+	// worker and the reducer gets its own connection.
+	StoreDial transport.Dialer
+	// StoreTimeout bounds one exchange operation's whole retry
+	// schedule (0 = unbounded); StoreHedge arms tail-latency hedging
+	// on gradient fetches.
+	StoreTimeout time.Duration
+	StoreHedge   time.Duration
+	// ClientHook observes every wire client built (chaos harnesses
+	// install op-count kill triggers here).
+	ClientHook func(*transport.NetClient)
+	// Verbose prints per-epoch exchange counters.
+	Verbose bool
+}
+
+func (dp DPOptions) withDefaults() DPOptions {
+	if dp.Replicas <= 0 {
+		dp.Replicas = 1
+	}
+	if dp.Microbatches <= 0 {
+		dp.Microbatches = 4
+	}
+	if dp.GradCodec == 0 {
+		dp.GradCodec = frame.CodecGradRaw
+	}
+	return dp
+}
+
+// gradChunkElems bounds one gradient frame to 2^16 float32 values
+// (256 KiB raw) — far under the frame caps and, with 12 chunk bits,
+// enough for 268M-parameter networks.
+const gradChunkElems = 1 << 16
+
+// gradExchange moves one goroutine's gradient vectors through a
+// transport as framed chunks. Not safe for concurrent use — each
+// worker and the reducer owns one.
+type gradExchange struct {
+	tr       transport.Transport
+	pipe     codec.Pipeline
+	codec    frame.Codec
+	tag      uint64
+	retry    transport.Retry
+	counters *transport.Counters
+}
+
+func chunkCount(n int) int { return (n + gradChunkElems - 1) / gradChunkElems }
+
+// put ships flat as chunked frames under (step, slot).
+func (g *gradExchange) put(step, slot uint64, flat []float32) error {
+	for c := 0; c*gradChunkElems < len(flat); c++ {
+		lo := c * gradChunkElems
+		hi := lo + gradChunkElems
+		if hi > len(flat) {
+			hi = len(flat)
+		}
+		x := tensor.New(1, 1, 1, hi-lo)
+		copy(x.Data, flat[lo:hi])
+		enc, err := g.pipe.EncodeGradient(g.codec, x)
+		if err != nil {
+			return err
+		}
+		b := frame.EncodeFrame(enc.Frame)
+		if _, err := g.tr.Put(transport.GradKey(g.tag, step, slot, uint64(c)), b, g.retry); err != nil {
+			return fmt.Errorf("grad put step=%d slot=%d chunk=%d: %w", step, slot, c, err)
+		}
+		g.counters.GradPuts.Add(1)
+		g.counters.BytesGrad.Add(int64(len(b)))
+	}
+	return nil
+}
+
+// get fetches the n-element vector stored under (step, slot) back into
+// dst (len n).
+func (g *gradExchange) get(step, slot uint64, dst []float32) error {
+	off := 0
+	for c := 0; off < len(dst); c++ {
+		f, err := g.tr.Get(transport.GradKey(g.tag, step, slot, uint64(c)), g.retry, false)
+		if err != nil {
+			return fmt.Errorf("grad get step=%d slot=%d chunk=%d: %w", step, slot, c, err)
+		}
+		x, err := g.pipe.Decode(f)
+		if err != nil {
+			return fmt.Errorf("grad decode step=%d slot=%d chunk=%d: %w", step, slot, c, err)
+		}
+		if off+x.Elems() > len(dst) {
+			return fmt.Errorf("grad get step=%d slot=%d: chunks exceed %d elements", step, slot, len(dst))
+		}
+		copy(dst[off:], x.Data)
+		off += x.Elems()
+		g.counters.GradGets.Add(1)
+		g.counters.BytesGrad.Add(int64(f.EncodedSize()))
+	}
+	return nil
+}
+
+// del releases (step, slot)'s chunks, best-effort.
+func (g *gradExchange) del(step, slot uint64, n int) {
+	for c := 0; c < chunkCount(n); c++ {
+		g.tr.Delete(transport.GradKey(g.tag, step, slot, uint64(c)))
+	}
+}
+
+// dpReplica is one worker's private world: model, optimizer, exchange.
+type dpReplica struct {
+	model *models.Model
+	opt   nn.Optimizer
+	gx    *gradExchange
+	flat  []float32 // scratch: this replica's flattened gradient
+}
+
+// ClassifierDataParallel trains a classification model across
+// dp.Replicas workers with compressed gradient exchange over the
+// activation-store transport. newModel must build identical replicas
+// on every call (seed the weight RNG inside it); it is called K times.
+// The returned snapshot aggregates the exchange counters of every
+// client. Final weights are bit-identical for any Replicas value.
+func ClassifierDataParallel(newModel func() *models.Model, ds *data.Classification, cfg Config, dp DPOptions) (Report, transport.Snapshot, error) {
+	cfg = cfg.withDefaults()
+	dp = dp.withDefaults()
+	defer cfg.applyWorkers()()
+	if dp.Replicas > dp.Microbatches {
+		return Report{}, transport.Snapshot{}, fmt.Errorf("train: %d replicas exceed %d microbatches", dp.Replicas, dp.Microbatches)
+	}
+	K, M := dp.Replicas, dp.Microbatches
+
+	counters := &transport.Counters{}
+	retry := transport.Retry{Attempts: 8, Backoff: time.Millisecond, Total: dp.StoreTimeout}
+	if dp.StoreTimeout > 0 {
+		opTimeout := dp.StoreTimeout / 4
+		if opTimeout < 50*time.Millisecond {
+			opTimeout = 50 * time.Millisecond
+		}
+		retry.OpTimeout = opTimeout
+	}
+	var shared transport.Transport
+	if dp.StoreDial == nil {
+		// One in-process backend shared by every worker (it is
+		// mutex-guarded); closing it once at the end suffices.
+		shared = transport.NewLocal(nil, counters)
+		defer shared.Close()
+	}
+	newTransport := func() transport.Transport {
+		if shared != nil {
+			return shared
+		}
+		c := transport.NewNetClient(dp.StoreDial, counters)
+		c.OpTimeout = retry.OpTimeout
+		c.Hedge = dp.StoreHedge
+		if dp.ClientHook != nil {
+			dp.ClientHook(c)
+		}
+		return c
+	}
+	tag := transport.GradTag(cfg.Seed)
+	pipe := codec.New(quant.OptL()) // DQT unused by gradient codecs
+	newExchange := func() *gradExchange {
+		return &gradExchange{tr: newTransport(), pipe: pipe, codec: dp.GradCodec, tag: tag, retry: retry, counters: counters}
+	}
+
+	reps := make([]*dpReplica, K)
+	for k := range reps {
+		reps[k] = &dpReplica{model: newModel(), opt: cfg.newOptimizer(), gx: newExchange()}
+	}
+	gradSize := nn.GradSize(reps[0].model.Net)
+	for k, r := range reps {
+		if nn.GradSize(r.model.Net) != gradSize {
+			return Report{}, counters.Snapshot(), fmt.Errorf("train: replica %d gradient size differs — newModel is not deterministic", k)
+		}
+		r.flat = make([]float32, gradSize)
+	}
+	if shared == nil {
+		for _, r := range reps {
+			defer r.gx.tr.Close()
+		}
+	}
+	reducer := newExchange()
+	if shared == nil {
+		defer reducer.tr.Close()
+	}
+
+	rep := Report{
+		ModelName:  reps[0].model.Name,
+		MethodName: fmt.Sprintf("dp(K=%d,M=%d,%s)", K, M, dp.GradCodec),
+	}
+	if dp.StoreDial != nil {
+		rep.MethodName += "+netstore"
+	}
+
+	valX, valY := ds.Batch(cfg.BatchSize * 8)
+
+	microX := make([]*tensor.Tensor, M)
+	microY := make([][]int, M)
+	losses := make([]float64, M)
+	reduced := make([]float32, gradSize)
+	mbVec := make([]float32, gradSize)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, r := range reps {
+			maybeDecay(cfg, r.opt, epoch)
+		}
+		var epochLoss float64
+		for b := 0; b < cfg.BatchesPerEpoch; b++ {
+			step := uint64(epoch*cfg.BatchesPerEpoch + b)
+			// The driver draws all M microbatches in order — the data
+			// stream is sequential, so this is what pins the trajectory
+			// to M rather than K.
+			for m := 0; m < M; m++ {
+				microX[m], microY[m] = ds.Batch(cfg.BatchSize)
+			}
+
+			// Phase 1: every worker runs its share of microbatches and
+			// publishes each microbatch gradient.
+			var lead nn.NetState // microbatch 0's post-forward state
+			errs := make([]error, K)
+			var wg sync.WaitGroup
+			for k := 0; k < K; k++ {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					r := reps[k]
+					pre := nn.CaptureNetState(r.model.Net)
+					for m := k; m < M; m += K {
+						nn.RestoreNetState(r.model.Net, nn.SaltNetState(pre, uint64(m)))
+						for _, p := range r.model.Net.Params() {
+							p.ZeroGrad()
+						}
+						out := r.model.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: microX[m]}, true)
+						loss, grad := nn.SoftmaxCrossEntropy(out.T, microY[m])
+						losses[m] = loss
+						r.model.Net.Backward(grad)
+						nn.FlattenGrads(r.model.Net, r.flat)
+						if err := r.gx.put(step, uint64(m+1), r.flat); err != nil {
+							errs[k] = err
+							return
+						}
+						if m == 0 {
+							lead = nn.CaptureNetState(r.model.Net)
+						}
+					}
+				}(k)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return rep, counters.Snapshot(), err
+				}
+			}
+
+			// Phase 2: fixed-order exact reduction. Microbatch order
+			// 0..M-1, element-wise float32 accumulation — the one order
+			// every K produces.
+			for i := range reduced {
+				reduced[i] = 0
+			}
+			for m := 0; m < M; m++ {
+				if err := reducer.get(step, uint64(m+1), mbVec); err != nil {
+					return rep, counters.Snapshot(), err
+				}
+				for i, v := range mbVec {
+					reduced[i] += v
+				}
+			}
+			if err := reducer.put(step, 0, reduced); err != nil {
+				return rep, counters.Snapshot(), err
+			}
+			for m := 0; m < M; m++ {
+				reducer.del(step, uint64(m+1), gradSize)
+			}
+
+			// Phase 3: every replica adopts the lead state, imports the
+			// reduced gradient (scaled 1/M exactly once) and steps.
+			scale := 1 / float32(M)
+			for k := 0; k < K; k++ {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					r := reps[k]
+					nn.RestoreNetState(r.model.Net, lead)
+					if err := r.gx.get(step, 0, r.flat); err != nil {
+						errs[k] = err
+						return
+					}
+					nn.ImportGrads(r.model.Net, r.flat, scale)
+					r.opt.Step(r.model.Net.Params())
+				}(k)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return rep, counters.Snapshot(), err
+				}
+			}
+			reducer.del(step, 0, gradSize)
+
+			stepLoss := 0.0
+			for _, l := range losses {
+				stepLoss += l
+			}
+			stepLoss /= float64(M)
+			epochLoss += stepLoss
+			if math.IsNaN(stepLoss) || math.IsInf(stepLoss, 0) {
+				rep.Diverged = true
+				return rep, counters.Snapshot(), nil
+			}
+		}
+
+		stats := EpochStats{Epoch: epoch, Loss: epochLoss / float64(cfg.BatchesPerEpoch)}
+		valOut := reps[0].model.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: valX}, false)
+		stats.Score = nn.Accuracy(valOut.T, valY)
+		if nn.NaNGuard(valOut.T) {
+			rep.Diverged = true
+			rep.Epochs = append(rep.Epochs, stats)
+			return rep, counters.Snapshot(), nil
+		}
+		rep.Epochs = append(rep.Epochs, stats)
+		if stats.Score > rep.BestScore {
+			rep.BestScore = stats.Score
+		}
+		if dp.Verbose {
+			s := counters.Snapshot()
+			fmt.Printf("epoch %d: loss=%.4f acc=%.3f grad_puts=%d grad_gets=%d grad_bytes=%d retried=%d reconnects=%d\n",
+				epoch, stats.Loss, stats.Score, s.GradPuts, s.GradGets, s.BytesGrad, s.Retried, s.Reconnects)
+		}
+	}
+	return rep, counters.Snapshot(), nil
+}
+
+// DPFinalWeights flattens a trained model's parameters for element-wise
+// comparison across runs — the bit-exactness check the drivers and
+// tests share. Callers keep a reference to replica 0's model by
+// recording the first value their newModel factory returns.
+func DPFinalWeights(m *models.Model) []float32 {
+	var out []float32
+	for _, p := range m.Net.Params() {
+		out = append(out, p.W.Data...)
+	}
+	return out
+}

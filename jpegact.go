@@ -353,6 +353,38 @@ func TrainClassifierOffloaded(model string, sc ModelScale, cfg TrainConfig, oc O
 	return train.ClassifierOffloaded(m, ds, cfg, oc)
 }
 
+// DataParallelOptions configures TrainClassifierDataParallel: replica
+// count, microbatches per step, the gradient codec, and (optionally) the
+// networked store carrying the exchange.
+type DataParallelOptions = train.DPOptions
+
+// Gradient-exchange codecs for DataParallelOptions.GradCodec.
+const (
+	GradCodecRaw   = frame.CodecGradRaw   // lossless float32 (default)
+	GradCodecQuant = frame.CodecGradQuant // int8 max-abs quantization + ZVC
+)
+
+// TransportSnapshot is a point-in-time copy of the transport counters,
+// including the gradient-exchange rows (grad_puts/grad_gets/bytes_grad).
+type TransportSnapshot = transport.Snapshot
+
+// TrainClassifierDataParallel trains a mini network by name with K
+// replica workers exchanging per-microbatch weight gradients through the
+// activation-store transport (in-process, or the shared networked store
+// when dp.StoreDial is set). The step semantics are replica-invariant:
+// for a fixed dp.Microbatches the final weights are bit-identical for
+// any dp.Replicas, including over the wire and under connection chaos.
+func TrainClassifierDataParallel(model string, sc ModelScale, cfg TrainConfig, dp DataParallelOptions, seed uint64) (TrainReport, TransportSnapshot, error) {
+	// One dataset feeds the central microbatch draw; every replica gets
+	// its own identically-seeded model instance.
+	_, ds := buildClassifier(model, sc, seed)
+	newModel := func() *models.Model {
+		m, _ := buildClassifier(model, sc, seed)
+		return m
+	}
+	return train.ClassifierDataParallel(newModel, ds, cfg, dp)
+}
+
 // DQTOptimizerConfig configures OptimizeDQT (see internal/dqtopt.Config).
 type DQTOptimizerConfig = dqtopt.Config
 

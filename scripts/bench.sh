@@ -1,25 +1,37 @@
 #!/bin/sh
-# Runs the parallel-path micro-benchmarks and writes BENCH_parallel.json
-# at the repo root. Usage:
+# Runs every benchmark family and records BENCH_*.json / BENCH_*.txt at
+# the repo root. Usage:
 #
 #   scripts/bench.sh          # record the "after" numbers
 #   scripts/bench.sh before   # record a "before" baseline (e.g. on the
-#                             # parent commit) into BENCH_parallel.before.txt
+#                             # parent commit) into BENCH_*.before.txt
 #
-# The committed BENCH_parallel.json pairs the seed baseline (captured on
-# the pre-parallel tree) with the current tree's numbers.
+# The JSON reports (offload, netstore, dataparallel) are emitted by
+# cmd/offloadbench and share one schema: every report embeds a "meta"
+# provenance block (machine, os/arch, cores, gomaxprocs, go version,
+# git rev) via internal/benchmeta, so numbers recorded on different
+# machines or revisions are never silently compared. The raw `go test
+# -bench` captures are plain text; merge before/after pairs into the
+# committed BENCH_*.json by hand.
 set -e
 cd "$(dirname "$0")/.."
 
 label="${1:-after}"
-out="BENCH_parallel.${label}.txt"
 
-go test -run '^$' -benchtime=20x -benchmem \
-  -bench 'BenchmarkGemm$|BenchmarkGemmTA$|BenchmarkGemmTB$|BenchmarkQuantizeBlocks$|BenchmarkReconstructBlocks$|BenchmarkRoundtripZVC$|BenchmarkCompressJPEGACT$|BenchmarkTrainStep$' \
-  ./... | tee "$out"
+# record <outfile> <benchtime> <regex> <pkgs...>: one `go test -bench`
+# capture appended to <outfile> under the current GOMAXPROCS.
+record() {
+  out="$1"; benchtime="$2"; regex="$3"; shift 3
+  go test -run '^$' -benchtime="$benchtime" -benchmem -bench "$regex" "$@" | tee -a "$out"
+}
 
-echo "wrote $out (GOMAXPROCS=$(go env GOMAXPROCS 2>/dev/null || echo "$(nproc)") cores=$(nproc))"
-echo "merge before/after into BENCH_parallel.json by hand or rerun the recording step"
+# Parallel-path micro-benchmarks -> BENCH_parallel.<label>.txt.
+pout="BENCH_parallel.${label}.txt"
+: > "$pout"
+record "$pout" 20x \
+  'BenchmarkGemm$|BenchmarkGemmTA$|BenchmarkGemmTB$|BenchmarkQuantizeBlocks$|BenchmarkReconstructBlocks$|BenchmarkRoundtripZVC$|BenchmarkCompressJPEGACT$|BenchmarkTrainStep$' \
+  ./...
+echo "wrote $pout (GOMAXPROCS=$(go env GOMAXPROCS 2>/dev/null || echo "$(nproc)") cores=$(nproc))"
 
 # Offload pipeline: sync vs async step wall-clock over the simulated DMA
 # channel. The command exits non-zero if the async trajectory diverges
@@ -29,17 +41,14 @@ echo "wrote BENCH_offload.json:"
 grep -E 'speedup|trajectory' BENCH_offload.json
 
 # Kernel benchmarks (fused AAN codec + packed GEMM): one serial row and
-# one all-cores row, recorded as raw `go test -bench` output. The
-# committed BENCH_kernels.json pairs the saxpy/pre-fusion reference
-# numbers (the *SaxpyRef benchmarks and the pre-rewrite baseline run)
-# with these.
+# one all-cores row. The committed BENCH_kernels.json pairs the
+# saxpy/pre-fusion reference numbers with these.
 kbench='BenchmarkGemm$|BenchmarkGemmTA$|BenchmarkGemmTB$|BenchmarkGemmSaxpyRef$|BenchmarkGemmTASaxpyRef$|BenchmarkGemmTBSaxpyRef$|BenchmarkCompressJPEGACT$|BenchmarkTrainStep$|BenchmarkAANForward8x8$|BenchmarkLLMForward8x8$'
 kout="BENCH_kernels.${label}.txt"
 : > "$kout"
 for procs in 1 "$(nproc)"; do
   echo "# GOMAXPROCS=$procs" >> "$kout"
-  GOMAXPROCS="$procs" go test -run '^$' -benchtime=2s -benchmem \
-    -bench "$kbench" ./... | tee -a "$kout"
+  GOMAXPROCS="$procs" record "$kout" 2s "$kbench" ./...
 done
 echo "wrote $kout (cores=$(nproc)); merge into BENCH_kernels.json by hand"
 
@@ -47,23 +56,27 @@ echo "wrote $kout (cores=$(nproc)); merge into BENCH_kernels.json by hand"
 # in-process actstore server on a unix socket, sweeping 1/2/4 clients
 # and recording aggregate throughput plus request-latency percentiles.
 # Runs with 2-way replication and 5ms hedged GETs so the report also
-# carries the failure-domain overheads: the replicated-overhead pass
-# compares one client's PUT p95 against single- vs two-replica servers
-# (acceptance: replicated_p95_overhead <= 1.25) and the hedged counter
-# shows how often the tail raced a second connection. The command exits
-# non-zero if any client's trajectory diverges from the local
-# in-process reference.
+# carries the failure-domain overheads (acceptance:
+# replicated_p95_overhead <= 1.25). Exits non-zero if any client's
+# trajectory diverges from the local in-process reference.
 go run ./cmd/offloadbench -net -clients 1,2,4 -replicas 2 -hedge 5ms > BENCH_netstore.json
 echo "wrote BENCH_netstore.json:"
 grep -E 'clients|throughput|p99|trajectory|replica|hedged' BENCH_netstore.json
 
+# Data-parallel replica scaling: K workers exchanging gradients through
+# the activation-store transport, measured wall-clock speedup next to
+# the gpusim ring all-reduce prediction. Exits non-zero if any replica
+# count lands on weights that differ from K=1.
+go run ./cmd/offloadbench -dp -dp-replicas 1,2,4 > BENCH_dataparallel.json
+echo "wrote BENCH_dataparallel.json:"
+grep -E 'replicas|speedup|weights_match' BENCH_dataparallel.json
+
 # Frequency-domain restore: the spatial vs coefficient-path backward pair
 # (BN + 1x1 conv over offload-restored activations) plus the TrainStep
-# guard showing the opt-in path costs nothing when disabled. The
-# committed BENCH_dctdomain.json pairs a full-decode baseline run with
-# the coefficient-path numbers from the same machine.
+# guard showing the opt-in path costs nothing when disabled.
 dout="BENCH_dctdomain.${label}.txt"
-go test -run '^$' -benchtime=20x -benchmem \
-  -bench 'BenchmarkBackwardSpatial$|BenchmarkBackwardFreqDomain$|BenchmarkTrainStep$' \
-  . ./internal/nn | tee "$dout"
+: > "$dout"
+record "$dout" 20x \
+  'BenchmarkBackwardSpatial$|BenchmarkBackwardFreqDomain$|BenchmarkTrainStep$' \
+  . ./internal/nn
 echo "wrote $dout; merge before/after into BENCH_dctdomain.json by hand"
