@@ -41,6 +41,57 @@ func TestCompressActivationAllocs(t *testing.T) {
 	}
 }
 
+// TestGradExchangeAllocs guards the data-parallel gradient exchange hot
+// path: one encode+decode round trip per chunk per microbatch per step,
+// driven exactly as the trainer drives it — a pooled staging tensor
+// into EncodeGradient, the frame across the wire codec, and
+// DecodeGradientInto a pooled destination. The only per-op allocations
+// allowed are the wire artifacts that must be fresh (the payload and
+// frame the transport retains for resends, the decoded frame's slices)
+// — a small constant per chunk, never per element. The budget fails
+// loudly if a fresh tensor or staging copy ever sneaks back in.
+func TestGradExchangeAllocs(t *testing.T) {
+	const n = 1 << 14 // one quarter-size chunk: enough to expose per-element churn
+	r := tensor.NewRNG(3)
+	grad := make([]float32, n)
+	for i := range grad {
+		grad[i] = float32(r.Norm()) * 0.01
+	}
+
+	prev := SetParallelWorkers(1)
+	defer SetParallelWorkers(prev)
+
+	p := codec.Pipeline{}
+	staging := &tensor.Tensor{Shape: tensor.Shape{N: 1, C: 1, H: 1, W: n}, Data: make([]float32, n)}
+	dst := make([]float32, n)
+
+	for _, gc := range []frame.Codec{frame.CodecGradRaw, frame.CodecGradQuant} {
+		gc := gc
+		roundTrip := func() {
+			copy(staging.Data, grad)
+			enc, err := p.EncodeGradient(gc, staging)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire := frame.EncodeFrame(enc.Frame)
+			f, err := frame.DecodeFrame(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.DecodeGradientInto(f, dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		roundTrip() // warm any pools below the codec
+		allocs := testing.AllocsPerRun(10, roundTrip)
+		const maxAllocs = 24
+		if allocs > maxAllocs {
+			t.Fatalf("%s gradient chunk round trip allocates %.0f objects/op, budget %d",
+				gc, allocs, maxAllocs)
+		}
+	}
+}
+
 // TestDecodeCoefficientsAllocs guards the coefficient-restore hot path:
 // DecodeCoefficients runs once per qualifying saved activation per
 // backward step, so per-block allocations there would undo the win of

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"jpegact/internal/benchmeta"
@@ -20,6 +21,7 @@ import (
 	"jpegact/internal/gpusim"
 	"jpegact/internal/models"
 	"jpegact/internal/nn"
+	"jpegact/internal/offload/netstore"
 	"jpegact/internal/offload/transport"
 	"jpegact/internal/tensor"
 	"jpegact/internal/train"
@@ -34,14 +36,27 @@ type dpBenchConfig struct {
 	batch        int
 	width        int
 	procs        int
+	window       int // wire pipelining window for the exchange clients
+	bucketBytes  int // gradient bucket size (0 = trainer default)
 	storeTimeout time.Duration
 }
 
 type dpKResult struct {
-	Replicas         int     `json:"replicas"`
-	TotalMS          float64 `json:"total_ms"`
-	MSPerStep        float64 `json:"ms_per_step"`
-	MeasuredSpeedup  float64 `json:"measured_speedup"`
+	Replicas        int     `json:"replicas"`
+	TotalMS         float64 `json:"total_ms"`
+	MSPerStep       float64 `json:"ms_per_step"`
+	MeasuredSpeedup float64 `json:"measured_speedup"`
+	// MSPerStepSerial is the same sweep point rerun with the
+	// backward-overlapped bucketed exchange disabled (SerialExchange:
+	// flatten, then ship, then reduce, stop-and-wait wire); the overlap
+	// speedup is serial/overlapped wall time.
+	MSPerStepSerial float64 `json:"ms_per_step_serial"`
+	OverlapSpeedup  float64 `json:"overlap_speedup"`
+	// PredictedIdeal is the gpusim ring model with a dedicated device
+	// per replica (the paper-platform prediction); PredictedSpeedup
+	// clamps the model's compute parallelism to this host's GOMAXPROCS,
+	// which is what a measured sweep on one machine can honestly chase.
+	PredictedIdeal   float64 `json:"predicted_ideal"`
 	PredictedSpeedup float64 `json:"predicted_speedup"`
 	GradPuts         uint64  `json:"grad_puts"`
 	GradGets         uint64  `json:"grad_gets"`
@@ -59,9 +74,11 @@ type dpReport struct {
 	Steps        int            `json:"steps"`
 	GradCodec    string         `json:"grad_codec"`
 	GradBytes    int            `json:"grad_bytes"` // raw float32 gradient footprint
+	Window       int            `json:"pipeline_window"`
+	BucketBytes  int            `json:"bucket_bytes,omitempty"`
 	Addr         string         `json:"addr,omitempty"`
 	Results      []dpKResult    `json:"results"`
-	WeightsMatch bool           `json:"weights_match"` // all K bit-identical to K=1
+	WeightsMatch bool           `json:"weights_match"` // all K and both exchange modes bit-identical to K=1
 }
 
 func parseGradCodec(s string) frame.Codec {
@@ -84,13 +101,20 @@ func runDPBench(cfg dpBenchConfig) {
 	}
 	ks := parseClients(cfg.replicas) // same "1,2,4" spec syntax as -clients
 
-	var dial transport.Dialer
-	if cfg.addr != "" {
-		d, err := transport.DialAddr(cfg.addr)
-		if err != nil {
-			fatal("dp", err)
-		}
-		dial = d
+	// The sweep always runs networked: an empty -addr spins an
+	// in-process actstore on a unix socket (the -net arrangement), so
+	// the measured exchange pays real wire costs and the overlap has
+	// something to hide — the Local transport executes ops inline and
+	// would make the serial/overlapped comparison vacuous.
+	addr := cfg.addr
+	if addr == "" {
+		_, a, cleanup := startServer(netstore.Config{})
+		defer cleanup()
+		addr = a
+	}
+	dial, err := transport.DialAddr(addr)
+	if err != nil {
+		fatal("dp", err)
 	}
 
 	trainCfg := train.Config{
@@ -121,7 +145,12 @@ func runDPBench(cfg dpBenchConfig) {
 	}
 
 	// Analytic prediction: the ring all-reduce model over the paper's
-	// platform on the matching full-scale workload.
+	// platform on the matching full-scale workload. Two variants: the
+	// ideal one gives every replica its own device (the paper-platform
+	// shape), the host one clamps compute parallelism to this machine's
+	// GOMAXPROCS and credits the bucketed exchange with hiding half the
+	// wire time when pipelining is on — the coarse stand-in the simple
+	// model affords for the measured overlap.
 	var workload gpusim.Workload
 	for _, w := range gpusim.Workloads() {
 		if w.Name == "ResNet18/IN" {
@@ -129,10 +158,20 @@ func runDPBench(cfg dpBenchConfig) {
 		}
 	}
 	simCfg := gpusim.TitanV(4)
-	predicted := map[int]float64{}
-	for _, r := range gpusim.DPSweep(workload, gpusim.JPEGAct(gpusim.JPEGActDefaultRatios()), simCfg,
-		gpusim.DPConfig{GradBytes: float64(gradBytes), GradRatio: gradRatio}, ks) {
-		predicted[r.GPUs] = r.Speedup
+	scheme := gpusim.JPEGAct(gpusim.JPEGActDefaultRatios())
+	base := gpusim.DPConfig{GradBytes: float64(gradBytes), GradRatio: gradRatio}
+	predIdeal := map[int]float64{}
+	for _, r := range gpusim.DPSweep(workload, scheme, simCfg, base, ks) {
+		predIdeal[r.GPUs] = r.Speedup
+	}
+	host := base
+	host.HostCores = runtime.GOMAXPROCS(0)
+	if cfg.window > 1 {
+		host.Overlap = 0.5
+	}
+	predHost := map[int]float64{}
+	for _, r := range gpusim.DPSweep(workload, scheme, simCfg, host, ks) {
+		predHost[r.GPUs] = r.Speedup
 	}
 
 	rep := dpReport{
@@ -144,36 +183,51 @@ func runDPBench(cfg dpBenchConfig) {
 		Steps:        cfg.steps,
 		GradCodec:    codec.String(),
 		GradBytes:    gradBytes,
+		Window:       cfg.window,
+		BucketBytes:  cfg.bucketBytes,
 		Addr:         cfg.addr,
 		WeightsMatch: true,
 	}
 
-	var refWeights []float32
-	var refWall float64
-	for _, k := range ks {
+	// runSweep trains one (K, exchange-mode) point and returns its wall
+	// time, final weights, and counter snapshot.
+	runSweep := func(k int, serial bool) (float64, []float32, transport.Snapshot) {
 		factory, lead, ds := newFixture()
 		start := time.Now()
 		_, snap, err := train.ClassifierDataParallel(factory, ds, trainCfg, train.DPOptions{
 			Replicas: k, Microbatches: cfg.microbatches, GradCodec: codec,
 			StoreDial: dial, StoreTimeout: cfg.storeTimeout,
+			Window: cfg.window, BucketBytes: cfg.bucketBytes, SerialExchange: serial,
 		})
 		if err != nil {
 			fatal("dp", err)
 		}
 		wall := float64(time.Since(start).Microseconds()) / 1e3
-		weights := train.DPFinalWeights(lead())
+		return wall, train.DPFinalWeights(lead()), snap
+	}
+
+	var refWeights []float32
+	var refWall float64
+	sameWeights := func(w []float32) bool {
+		if len(w) != len(refWeights) {
+			return false
+		}
+		for i := range w {
+			if w[i] != refWeights[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, k := range ks {
+		wall, weights, snap := runSweep(k, false)
+		serialWall, serialWeights, _ := runSweep(k, true)
 		if refWeights == nil {
 			refWeights, refWall = weights, wall
 		}
-		match := len(weights) == len(refWeights)
-		if match {
-			for i := range weights {
-				if weights[i] != refWeights[i] {
-					match = false
-					break
-				}
-			}
-		}
+		// Both exchange modes must land on the reference weights: the
+		// overlap may only move wall time, never a float32 operation.
+		match := sameWeights(weights) && sameWeights(serialWeights)
 		if !match {
 			rep.WeightsMatch = false
 		}
@@ -182,7 +236,10 @@ func runDPBench(cfg dpBenchConfig) {
 			TotalMS:          wall,
 			MSPerStep:        wall / float64(cfg.steps),
 			MeasuredSpeedup:  refWall / wall,
-			PredictedSpeedup: predicted[k],
+			MSPerStepSerial:  serialWall / float64(cfg.steps),
+			OverlapSpeedup:   serialWall / wall,
+			PredictedIdeal:   predIdeal[k],
+			PredictedSpeedup: predHost[k],
 			GradPuts:         snap.GradPuts,
 			GradGets:         snap.GradGets,
 			BytesGrad:        snap.BytesGrad,
@@ -190,8 +247,8 @@ func runDPBench(cfg dpBenchConfig) {
 			WeightsMatch:     match,
 		}
 		rep.Results = append(rep.Results, res)
-		fmt.Fprintf(os.Stderr, "offloadbench: dp K=%d wall=%.0fms speedup=%.2fx (predicted %.2fx) grad_puts=%d grad_gets=%d grad_bytes=%d match=%v\n",
-			k, wall, res.MeasuredSpeedup, res.PredictedSpeedup, snap.GradPuts, snap.GradGets, snap.BytesGrad, match)
+		fmt.Fprintf(os.Stderr, "offloadbench: dp K=%d wall=%.0fms serial=%.0fms overlap=%.2fx speedup=%.2fx (host %.2fx, ideal %.2fx) grad_puts=%d grad_gets=%d grad_bytes=%d match=%v\n",
+			k, wall, serialWall, res.OverlapSpeedup, res.MeasuredSpeedup, res.PredictedSpeedup, res.PredictedIdeal, snap.GradPuts, snap.GradGets, snap.BytesGrad, match)
 	}
 
 	enc := json.NewEncoder(os.Stdout)

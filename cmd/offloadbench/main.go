@@ -229,6 +229,8 @@ func main() {
 	addr := flag.String("addr", "", "activation-store address for -net (unix:/path or tcp:host:port; empty starts an in-process server on a unix socket)")
 	shards := flag.Int("shards", 0, "shard count for the in-process -net server (0 = default)")
 	replicas := flag.Int("replicas", 1, "replica copies per PUT on the in-process -net server (also sets the replicated-overhead pass width)")
+	pipeline := flag.Int("pipeline", 8, "wire pipelining window: max in-flight requests per connection (1 = stop-and-wait)")
+	bucketBytes := flag.Int("bucket-bytes", 0, "with -dp: gradient bucket size in raw float32 bytes (0 = trainer default, 256KiB)")
 	hedge := flag.Duration("hedge", 0, "with -net: hedge GETs slower than this on a second connection (0 = off)")
 	storeTimeout := flag.Duration("store-timeout", 5*time.Second, "with -net: total wall budget per wire op across reconnect+resend (0 = unbounded)")
 	chaos := flag.Uint64("chaos", 0, "with -net: seed for deterministic connection chaos (resets, stalls, latency spikes; 0 = off)")
@@ -247,7 +249,8 @@ func main() {
 		runDPBench(dpBenchConfig{
 			addr: *addr, replicas: *dpReplicas, microbatches: *microbatches,
 			gradCodec: *gradCodec, steps: *steps, batch: *batch, width: *width,
-			procs: procs, storeTimeout: *storeTimeout,
+			procs: procs, window: *pipeline, bucketBytes: *bucketBytes,
+			storeTimeout: *storeTimeout,
 		})
 		return
 	}
@@ -256,7 +259,7 @@ func main() {
 		runNetBench(netBenchConfig{
 			addr: *addr, clients: *clients, shards: *shards, replicas: *replicas,
 			steps: *steps, batch: *batch, width: *width, procs: procs, prefetch: prefetch,
-			hedge: *hedge, storeTimeout: *storeTimeout, chaosSeed: *chaos,
+			pipeline: *pipeline, hedge: *hedge, storeTimeout: *storeTimeout, chaosSeed: *chaos,
 		})
 		return
 	}

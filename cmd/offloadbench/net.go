@@ -20,10 +20,13 @@ import (
 	"time"
 
 	"jpegact/internal/benchmeta"
+	"jpegact/internal/frame"
 	"jpegact/internal/netfaults"
 	"jpegact/internal/offload"
+	"jpegact/internal/offload/codec"
 	"jpegact/internal/offload/netstore"
 	"jpegact/internal/offload/transport"
+	"jpegact/internal/tensor"
 )
 
 // latCollector gathers per-request wall-clock latencies from the
@@ -96,7 +99,16 @@ type netReport struct {
 	SingleP95us           float64 `json:"single_replica_put_p95_us,omitempty"`
 	ReplicatedP95us       float64 `json:"replicated_put_p95_us,omitempty"`
 	ReplicatedP95Overhead float64 `json:"replicated_p95_overhead,omitempty"`
-	TrajectoryMatch       bool    `json:"trajectory_match"`
+	// Pipelining microbench (in-process server only): 64 GETs against a
+	// server injecting a fixed per-response service delay, stop-and-wait
+	// (window 1) vs a pipelined window on one connection. Pipelined
+	// requests overlap their delays, so the expected speedup approaches
+	// the window size; the acceptance bar is >= 2x.
+	PipelineWindow  int     `json:"pipeline_window"`
+	SerialGetMS     float64 `json:"serial_get_ms,omitempty"`
+	PipelinedGetMS  float64 `json:"pipelined_get_ms,omitempty"`
+	PipelineSpeedup float64 `json:"pipeline_speedup,omitempty"`
+	TrajectoryMatch bool    `json:"trajectory_match"`
 }
 
 func parseClients(spec string) []int {
@@ -129,6 +141,7 @@ type netBenchConfig struct {
 	width        int
 	procs        int
 	prefetch     int
+	pipeline     int
 	hedge        time.Duration
 	storeTimeout time.Duration
 	chaosSeed    uint64
@@ -184,6 +197,57 @@ func replicatedOverheadPass(cfg netBenchConfig, ec offload.EngineConfig, replica
 	return run(1), run(replicas)
 }
 
+// pipelinePass times the same 64 GETs twice against a fresh server that
+// injects a fixed per-response delay: once stop-and-wait (window 1) and
+// once with `window` requests pipelined on the single connection. The
+// delay dominates the wire time deterministically, so the measured
+// ratio is the pipelining win itself, not scheduler noise.
+func pipelinePass(window int) (serialMS, pipedMS float64) {
+	const (
+		ops   = 64
+		delay = 2 * time.Millisecond
+	)
+	srv, addr, cleanup := startServer(netstore.Config{RespDelay: delay})
+	defer cleanup()
+	_ = srv
+	dial, err := transport.DialAddr(addr)
+	if err != nil {
+		fatal("net", err)
+	}
+	// One small, valid gradient frame: the server CRC-validates PUT
+	// bodies before storing them.
+	x := &tensor.Tensor{Shape: tensor.Shape{N: 1, C: 1, H: 1, W: 64}, Data: make([]float32, 64)}
+	enc, err := codec.Pipeline{}.EncodeGradient(frame.CodecGradRaw, x)
+	if err != nil {
+		fatal("net", err)
+	}
+	body := frame.EncodeFrame(enc.Frame)
+
+	run := func(w int) float64 {
+		c := transport.NewNetClient(dial, nil)
+		c.Window = w
+		defer c.Close()
+		retry := transport.Retry{Attempts: 2}
+		for k := 0; k < ops; k++ {
+			if _, err := c.Put(uint64(k+1), body, retry); err != nil {
+				fatal("net", err)
+			}
+		}
+		start := time.Now()
+		pending := make([]*transport.Pending, 0, ops)
+		for k := 0; k < ops; k++ {
+			pending = append(pending, c.GetAsync(uint64(k+1), retry, false))
+		}
+		for _, p := range pending {
+			if _, err := p.GetResult(); err != nil {
+				fatal("net", err)
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / 1e3
+	}
+	return run(1), run(window)
+}
+
 // runNetBench drives the client-count sweep and writes the JSON report
 // to stdout (scripts/bench.sh lands it in BENCH_netstore.json).
 func runNetBench(cfg netBenchConfig) {
@@ -225,7 +289,7 @@ func runNetBench(cfg netBenchConfig) {
 		opTimeout = 50 * time.Millisecond
 	}
 
-	ec := offload.EngineConfig{Async: true, Prefetch: cfg.prefetch}
+	ec := offload.EngineConfig{Async: true, Prefetch: cfg.prefetch, PipelineWindow: cfg.pipeline}
 	// Every client runs the same seeds, so the local run is the exact
 	// trajectory each of them must reproduce over the wire.
 	ref := runMode("local-ref", ec, false, cfg.steps, cfg.batch, cfg.width, nil)
@@ -261,6 +325,7 @@ func runNetBench(cfg netBenchConfig) {
 					c.Latency = col.observe
 					c.OpTimeout = opTimeout
 					c.Hedge = cfg.hedge
+					c.Window = cfg.pipeline
 					s.Transport = c
 					// Disjoint key spaces: concurrent clients must never
 					// collide on the shared server.
@@ -323,8 +388,9 @@ func runNetBench(cfg netBenchConfig) {
 		rep.Chaos = &snap
 	}
 
-	// The replicated-overhead pass needs its own clean servers, so it
-	// only runs against the in-process backend and outside chaos mode.
+	// The replicated-overhead and pipelining passes need their own clean
+	// servers, so they only run against the in-process backend and
+	// outside chaos mode.
 	if !external && inj == nil {
 		r := cfg.replicas
 		if r < 2 {
@@ -338,6 +404,21 @@ func runNetBench(cfg netBenchConfig) {
 			rep.ReplicatedP95us, rep.SingleP95us, rep.ReplicatedP95Overhead, r)
 		if rep.ReplicatedP95Overhead > 1.25 {
 			fmt.Fprintln(os.Stderr, "offloadbench: WARNING: replicated-PUT overhead exceeds the 1.25x acceptance bar")
+		}
+
+		w := cfg.pipeline
+		if w < 2 {
+			w = 8
+		}
+		rep.PipelineWindow = w
+		rep.SerialGetMS, rep.PipelinedGetMS = pipelinePass(w)
+		if rep.PipelinedGetMS > 0 {
+			rep.PipelineSpeedup = rep.SerialGetMS / rep.PipelinedGetMS
+		}
+		fmt.Fprintf(os.Stderr, "offloadbench: pipelined GETs %.1fms vs serial %.1fms (%.2fx at window %d)\n",
+			rep.PipelinedGetMS, rep.SerialGetMS, rep.PipelineSpeedup, w)
+		if rep.PipelineSpeedup < 2 {
+			fmt.Fprintln(os.Stderr, "offloadbench: WARNING: pipelining speedup below the 2x acceptance bar")
 		}
 	}
 

@@ -23,13 +23,27 @@ type DPConfig struct {
 	// ReduceSeconds is the per-step fixed cost of the reduction itself
 	// (the fixed-order accumulate, barriers). 0 = ignore.
 	ReduceSeconds float64
+	// Overlap is the fraction of the gradient exchange hidden behind
+	// backward compute (clamped to [0, 1]). 0 models the serial
+	// exchange — all gradients ship after backward finishes; with the
+	// bucketed backward-overlapped exchange the tail-of-network buckets
+	// ship while the head still differentiates, exposing only
+	// (1-Overlap) of the wire time on the critical path.
+	Overlap float64
+	// HostCores caps the effective compute parallelism of the platform
+	// hosting the replicas (0 = unlimited, i.e. every replica gets its
+	// own device). On a host emulating k replicas with fewer cores, the
+	// per-replica compute share divides by min(k, HostCores) instead of
+	// k — the clamp that makes the prediction honest on a small machine.
+	HostCores int
 }
 
 // DPResult is one simulated data-parallel step.
 type DPResult struct {
 	GPUs           int
 	ComputeSeconds float64 // per-GPU forward+backward share
-	ExchangeSec    float64 // ring all-reduce wall time
+	ExchangeSec    float64 // ring all-reduce wire time (before overlap)
+	ExposedSec     float64 // exchange time left on the critical path
 	TotalSeconds   float64
 	// Speedup is versus the same model at GPUs=1.
 	Speedup float64
@@ -39,10 +53,12 @@ type DPResult struct {
 
 // SimulateDataParallel predicts one data-parallel training step of
 // workload w under scheme s on k GPUs of the given platform. Compute
-// (including the offload machinery of Simulate) divides by k — the
-// microbatches are disjoint — while the gradient exchange grows with
-// the ring term 2(k-1)/k and does not shrink. Speedup is therefore
-// sublinear and monotone in dp.GradBytes.
+// (including the offload machinery of Simulate) divides by the
+// effective parallelism — k, or min(k, HostCores) when the host caps
+// it — while the gradient exchange grows with the ring term 2(k-1)/k
+// and does not shrink; the overlap factor decides how much of it the
+// backward pass hides. Speedup is therefore sublinear and monotone in
+// dp.GradBytes.
 func SimulateDataParallel(w Workload, s Scheme, cfg Config, dp DPConfig) DPResult {
 	k := dp.GPUs
 	if k < 1 {
@@ -52,20 +68,40 @@ func SimulateDataParallel(w Workload, s Scheme, cfg Config, dp DPConfig) DPResul
 	if ratio <= 0 {
 		ratio = 1
 	}
+	overlap := dp.Overlap
+	if overlap < 0 {
+		overlap = 0
+	} else if overlap > 1 {
+		overlap = 1
+	}
+	eff := k
+	if dp.HostCores > 0 && dp.HostCores < eff {
+		eff = dp.HostCores
+	}
 	stepCompute := Simulate(w, s, cfg).Total()
 
-	perGPU := stepCompute / float64(k)
+	perGPU := stepCompute / float64(eff)
 	var exchange float64
 	if k > 1 {
 		wire := dp.GradBytes / ratio
 		exchange = 2 * float64(k-1) / float64(k) * wire / (cfg.PCIeGBs * 1e9)
 	}
-	total := perGPU + exchange + dp.ReduceSeconds
+	// Overlapped wire time hides under backward compute, but never below
+	// the compute itself: the critical path is max(compute, hidden wire)
+	// plus whatever stayed exposed.
+	exposed := (1 - overlap) * exchange
+	hidden := exchange - exposed
+	critical := perGPU
+	if hidden > critical {
+		critical = hidden
+	}
+	total := critical + exposed + dp.ReduceSeconds
 	base := stepCompute + dp.ReduceSeconds
 	res := DPResult{
 		GPUs:           k,
 		ComputeSeconds: perGPU,
 		ExchangeSec:    exchange,
+		ExposedSec:     exposed,
 		TotalSeconds:   total,
 		Speedup:        base / total,
 	}

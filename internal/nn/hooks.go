@@ -15,10 +15,20 @@ package nn
 //
 // OnNeed fires during the backward pass just before a layer reads one of
 // its saved refs, giving the scheduler the precise demand order for
-// restores (and prefetch lookahead). Both hooks may be nil.
+// restores (and prefetch lookahead).
+//
+// OnGrad fires during the backward pass the moment a parameter's
+// gradient is *final*: the owning layer's Backward has returned, and no
+// remaining backward computation will touch p.Grad (each layer
+// accumulates only into its own parameters, exactly once per pass). It
+// is the gradient-side mirror of OnSave — backward produces parameters
+// in reverse network order, so a data-parallel exchange can start
+// shipping tail-of-network gradient buckets while the head of the
+// network is still differentiating. All hooks may be nil.
 type Hooks struct {
 	OnSave func(*ActRef)
 	OnNeed func(*ActRef)
+	OnGrad func(*Param)
 }
 
 // hookHost is implemented by containers that propagate hooks and emit
@@ -53,6 +63,22 @@ refs:
 			}
 		}
 		h.OnSave(ref)
+	}
+}
+
+// emitGrads fires OnGrad for each of a child's parameters once that
+// child's Backward has finished accumulating into them. Hooked
+// containers emit internally at finer grain (their own Backward walks
+// their children), so they are skipped here.
+func emitGrads(h *Hooks, l Layer) {
+	if h == nil || h.OnGrad == nil {
+		return
+	}
+	if hh, ok := l.(hookHost); ok && hh.hooked() {
+		return
+	}
+	for _, p := range l.Params() {
+		h.OnGrad(p)
 	}
 }
 

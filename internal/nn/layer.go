@@ -112,6 +112,9 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			announceNeeds(s.hooks, s.Layers[i])
 		}
 		grad = s.Layers[i].Backward(grad)
+		if s.hooks != nil {
+			emitGrads(s.hooks, s.Layers[i])
+		}
 	}
 	return grad
 }
@@ -186,12 +189,18 @@ func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		announceNeeds(r.hooks, r.Body)
 	}
 	gBody := r.Body.Backward(grad.Clone())
+	if r.hooks != nil {
+		emitGrads(r.hooks, r.Body)
+	}
 	gShort := grad
 	if r.Shortcut != nil {
 		if r.hooks != nil {
 			announceNeeds(r.hooks, r.Shortcut)
 		}
 		gShort = r.Shortcut.Backward(grad.Clone())
+		if r.hooks != nil {
+			emitGrads(r.hooks, r.Shortcut)
+		}
 	}
 	out := gBody.Clone()
 	out.Add(gShort)

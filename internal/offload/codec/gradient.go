@@ -54,17 +54,41 @@ func encodeGradRaw(_ Pipeline, kind compress.Kind, x *tensor.Tensor) (Encoded, e
 	return Encoded{Frame: f}, nil
 }
 
-func decodeGradRaw(_ Pipeline, f *frame.Frame) (*tensor.Tensor, error) {
+// DecodeGradientInto decodes a gradient frame directly into dst,
+// bypassing the per-chunk tensor allocation of Decode — the exchange's
+// hot path runs once per chunk per microbatch per step, so the caller
+// pools dst. dst must hold exactly the frame's element count.
+func (p Pipeline) DecodeGradientInto(f *frame.Frame, dst []float32) error {
+	if n := f.Shape.Elems(); len(dst) != n {
+		return fmt.Errorf("codec: %d-element buffer for a %d-value gradient frame", len(dst), n)
+	}
+	switch f.Codec {
+	case frame.CodecGradRaw:
+		return decodeGradRawInto(f, dst)
+	case frame.CodecGradQuant:
+		return decodeGradQuantInto(f, dst)
+	}
+	return fmt.Errorf("codec: %s is not a gradient codec", f.Codec)
+}
+
+func decodeGradRawInto(f *frame.Frame, dst []float32) error {
 	n := f.Shape.Elems()
 	if len(f.Payload) != 4*n {
-		return nil, fmt.Errorf("%w: %d payload bytes for %d gradient values", frame.ErrHeader, len(f.Payload), n)
+		return fmt.Errorf("%w: %d payload bytes for %d gradient values", frame.ErrHeader, len(f.Payload), n)
 	}
 	if len(f.Scales) != 0 {
-		return nil, fmt.Errorf("%w: %d scales on a raw gradient frame", frame.ErrHeader, len(f.Scales))
+		return fmt.Errorf("%w: %d scales on a raw gradient frame", frame.ErrHeader, len(f.Scales))
 	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(f.Payload[4*i:]))
+	}
+	return nil
+}
+
+func decodeGradRaw(_ Pipeline, f *frame.Frame) (*tensor.Tensor, error) {
 	out := tensor.New(f.Shape.N, f.Shape.C, f.Shape.H, f.Shape.W)
-	for i := range out.Data {
-		out.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(f.Payload[4*i:]))
+	if err := decodeGradRawInto(f, out.Data); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -96,21 +120,28 @@ func encodeGradQuant(_ Pipeline, kind compress.Kind, x *tensor.Tensor) (Encoded,
 	return Encoded{Frame: f}, nil
 }
 
-func decodeGradQuant(_ Pipeline, f *frame.Frame) (*tensor.Tensor, error) {
+func decodeGradQuantInto(f *frame.Frame, dst []float32) error {
 	if len(f.Scales) != 1 {
-		return nil, fmt.Errorf("%w: %d scales on a quantized gradient frame", frame.ErrHeader, len(f.Scales))
+		return fmt.Errorf("%w: %d scales on a quantized gradient frame", frame.ErrHeader, len(f.Scales))
 	}
 	codes, err := coding.DecodeZVC(f.Payload, f.Shape.Elems())
 	if err != nil {
-		return nil, err
+		return err
 	}
 	scale := f.Scales[0]
 	if math.IsNaN(float64(scale)) || math.IsInf(float64(scale), 0) || scale < 0 {
-		return nil, fmt.Errorf("%w: gradient scale %v", frame.ErrHeader, scale)
+		return fmt.Errorf("%w: gradient scale %v", frame.ErrHeader, scale)
 	}
-	out := tensor.New(f.Shape.N, f.Shape.C, f.Shape.H, f.Shape.W)
 	for i, c := range codes {
-		out.Data[i] = float32(c) * scale
+		dst[i] = float32(c) * scale
+	}
+	return nil
+}
+
+func decodeGradQuant(_ Pipeline, f *frame.Frame) (*tensor.Tensor, error) {
+	out := tensor.New(f.Shape.N, f.Shape.C, f.Shape.H, f.Shape.W)
+	if err := decodeGradQuantInto(f, out.Data); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

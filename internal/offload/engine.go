@@ -28,6 +28,15 @@ type EngineConfig struct {
 	// by workers (0 = unlimited). The commit head is always admitted so
 	// the pipeline cannot deadlock on a single oversized frame.
 	InFlightBytes int
+	// PipelineWindow bounds the issued-but-unacknowledged wire operations
+	// the engine keeps in flight at once: commit PUTs during the forward
+	// pass and staging GETs in the backward prefetcher. <= 1 is
+	// stop-and-wait (each op completes before the next is issued — the
+	// pre-pipelining behaviour); larger windows overlap the transport
+	// round trips of consecutive ops. Ordering is unaffected: ops are
+	// issued and completed in the same strict sequence at every window,
+	// so injected fault patterns stay deterministic.
+	PipelineWindow int
 }
 
 // EngineStats counts scheduler-level events (channel/recovery counters
@@ -95,7 +104,8 @@ type Engine struct {
 	// Offload pipeline (reset each step).
 	seen       map[*nn.ActRef]bool
 	submitted  int
-	nextCommit int
+	nextCommit int // next sequence to *issue* (wire order)
+	finished   int // sequences fully committed (acknowledged)
 	committing bool
 	results    map[int]encResult
 	inflight   int
@@ -146,7 +156,7 @@ func (e *Engine) BeginStep() {
 	}
 	e.mu.Lock()
 	e.seen = map[*nn.ActRef]bool{}
-	e.submitted, e.nextCommit = 0, 0
+	e.submitted, e.nextCommit, e.finished = 0, 0, 0
 	e.results = map[int]encResult{}
 	e.inflight = 0
 	e.firstErr = nil
@@ -229,31 +239,64 @@ func (e *Engine) encodeAndCommit(seq int, ref *nn.ActRef, x *tensor.Tensor) {
 	e.mu.Unlock()
 }
 
+// pipelineWindow returns the effective wire window (>= 1).
+func (e *Engine) pipelineWindow() int {
+	if e.cfg.PipelineWindow < 1 {
+		return 1
+	}
+	return e.cfg.PipelineWindow
+}
+
 // drainCommits empties the reorder buffer from nextCommit while
-// consecutive results are present. Exactly one drainer runs at a time
-// (the committing flag); the Send itself happens outside the engine
-// lock so workers keep encoding while the transport sleeps.
+// consecutive results are present, keeping up to PipelineWindow commit
+// PUTs issued-but-unacknowledged on the transport at once. Issue takes
+// priority over completion — a ready head result goes on the wire
+// before the oldest outstanding ticket is waited on — so consecutive
+// frames' round trips overlap; both the issues and the completions
+// happen in strict sequence order, so the backend sees exactly the Put
+// sequence a stop-and-wait drain would. Exactly one drainer runs at a
+// time (the committing flag); the transport calls happen outside the
+// engine lock so workers keep encoding while the wire sleeps.
 func (e *Engine) drainCommits() {
+	window := e.pipelineWindow()
+	var fifo []*commitTicket
 	e.mu.Lock()
 	for {
-		res, ok := e.results[e.nextCommit]
-		if !ok {
-			break
-		}
-		delete(e.results, e.nextCommit)
-		e.mu.Unlock()
-		if res.err == nil {
-			if _, cerr := e.store.commitEncoded(res.ref, res.data, res.mask); cerr != nil {
-				res.err = cerr
+		if res, ok := e.results[e.nextCommit]; ok && len(fifo) < window {
+			delete(e.results, e.nextCommit)
+			e.nextCommit++
+			if res.err != nil {
+				// Encode failure: nothing to issue for this sequence.
+				if e.firstErr == nil {
+					e.firstErr = res.err
+				}
+				e.inflight -= len(res.data)
+				e.finished++
+				e.cond.Broadcast()
+				continue
 			}
+			e.mu.Unlock()
+			t := e.store.commitIssue(res.ref, res.data, res.mask)
+			e.mu.Lock()
+			fifo = append(fifo, t)
+			e.cond.Broadcast()
+			continue
 		}
-		e.mu.Lock()
-		if res.err != nil && e.firstErr == nil {
-			e.firstErr = res.err
+		if len(fifo) > 0 {
+			t := fifo[0]
+			fifo = fifo[1:]
+			e.mu.Unlock()
+			_, cerr := e.store.commitWait(t)
+			e.mu.Lock()
+			if cerr != nil && e.firstErr == nil {
+				e.firstErr = cerr
+			}
+			e.inflight -= t.size
+			e.finished++
+			e.cond.Broadcast()
+			continue
 		}
-		e.inflight -= len(res.data)
-		e.nextCommit++
-		e.cond.Broadcast()
+		break
 	}
 	e.committing = false
 	e.cond.Broadcast()
@@ -269,7 +312,7 @@ func (e *Engine) EndForward(refs []*nn.ActRef) (orig, comp int, err error) {
 		e.Offload(ref)
 	}
 	e.mu.Lock()
-	for e.cfg.Async && e.nextCommit < e.submitted {
+	for e.cfg.Async && e.finished < e.submitted {
 		e.cond.Wait()
 	}
 	orig = e.origBytes
@@ -313,15 +356,45 @@ func (e *Engine) PrepareBackward() error {
 }
 
 // prefetchLoop is the single fetch goroutine: it walks the snapshot in
-// order, staging up to Prefetch verified frames ahead of consumption.
-// Being alone on the channel's Recv side keeps the read sequence — and
-// therefore any injected fault pattern — deterministic. A consumer
+// order, staging up to Prefetch verified frames ahead of consumption
+// and keeping up to PipelineWindow staging GETs issued on the wire at
+// once (responses complete in issue order — the transport is FIFO — so
+// batching issues overlaps round trips without reordering anything).
+// Being alone on the transport's read side keeps the request sequence —
+// and therefore any injected fault pattern — deterministic. A consumer
 // blocked on a task past the window sets demand, which lets the loop
-// run ahead of the budget without changing the order. Only the channel
+// run ahead of the budget without changing the order. Only the wire
 // read and CRC check run here; decode is left to the consumer so the
-// next Recv can start immediately.
+// next read can start immediately.
 func (e *Engine) prefetchLoop(pf *prefetchState, gen int) {
+	window := e.pipelineWindow()
+	type issuedRead struct {
+		ft *fetchTask
+		tk *readTicket
+	}
+	var fifo []issuedRead
+	completeHead := func() {
+		in := fifo[0]
+		fifo = fifo[1:]
+		f, err := e.store.readWait(in.tk)
+		e.mu.Lock()
+		in.ft.staged, in.ft.err = f, err
+		in.ft.counted = true
+		pf.ready++
+		if pf.demand == in.ft {
+			pf.demand = nil
+		}
+		close(in.ft.done)
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
 	defer func() {
+		// Responses for issued reads are already on the wire; consume
+		// them even on cancellation so every started task's done closes
+		// and the transport stream stays position-deterministic.
+		for len(fifo) > 0 {
+			completeHead()
+		}
 		e.mu.Lock()
 		pf.active = false
 		e.cond.Broadcast()
@@ -329,12 +402,26 @@ func (e *Engine) prefetchLoop(pf *prefetchState, gen int) {
 	}()
 	for {
 		e.mu.Lock()
-		for gen == e.pfGen && pf.next < len(pf.tasks) && !pf.flush && pf.ready >= e.cfg.Prefetch && pf.demand == nil {
+		issuable := func() bool {
+			return pf.next < len(pf.tasks) && len(fifo) < window &&
+				(pf.flush || pf.demand != nil || pf.ready+len(fifo) < e.cfg.Prefetch)
+		}
+		for gen == e.pfGen && !issuable() && len(fifo) == 0 && pf.next < len(pf.tasks) {
 			e.cond.Wait()
 		}
-		if gen != e.pfGen || pf.next >= len(pf.tasks) {
+		if gen != e.pfGen {
 			e.mu.Unlock()
 			return
+		}
+		if !issuable() {
+			e.mu.Unlock()
+			if len(fifo) > 0 {
+				// Window or lookahead budget full (or plan exhausted):
+				// retire the oldest outstanding read.
+				completeHead()
+				continue
+			}
+			return // plan exhausted and wire drained
 		}
 		ft := pf.tasks[pf.next]
 		pf.next++
@@ -356,18 +443,7 @@ func (e *Engine) prefetchLoop(pf *prefetchState, gen int) {
 			e.mu.Unlock()
 			continue
 		}
-
-		f, err := s.read(ft.ent, ft.ref)
-		e.mu.Lock()
-		ft.staged, ft.err = f, err
-		ft.counted = true
-		pf.ready++
-		if pf.demand == ft {
-			pf.demand = nil
-		}
-		close(ft.done)
-		e.cond.Broadcast()
-		e.mu.Unlock()
+		fifo = append(fifo, issuedRead{ft: ft, tk: s.readIssue(ft.ent, ft.ref)})
 	}
 }
 
@@ -583,7 +659,7 @@ func (e *Engine) Abort() {
 		return
 	}
 	e.mu.Lock()
-	for e.nextCommit < e.submitted {
+	for e.finished < e.submitted {
 		e.cond.Wait()
 	}
 	e.mu.Unlock()

@@ -62,6 +62,15 @@ type Config struct {
 	// deadlock a connection — the same progress rule as the offload
 	// engine's encode budget.
 	InFlightBytes int
+	// RespDelay, when positive, injects a fixed service latency into
+	// every response: the due time is stamped when the request is
+	// *executed*, and the connection's writer holds each response until
+	// its due time passes. Pipelined requests therefore overlap their
+	// delays (k requests in flight cost ~one delay), while a
+	// stop-and-wait client pays the delay once per op — exactly the
+	// round-trip structure the pipelining benchmarks need to measure
+	// deterministically, without a real network.
+	RespDelay time.Duration
 	// Logf, when set, receives connection-lifecycle and error lines.
 	Logf func(format string, args ...any)
 }
@@ -401,6 +410,7 @@ func (s *Server) handleRequest(req transport.Request) (status uint8, body []byte
 type response struct {
 	status uint8
 	body   []byte
+	due    time.Time // earliest write time (RespDelay injection)
 }
 
 // handleConn runs one connection: the calling goroutine reads and
@@ -422,6 +432,15 @@ func (s *Server) handleConn(conn net.Conn) {
 		defer wg.Done()
 		bw := newBufWriter(conn)
 		for resp := range out {
+			if !resp.due.IsZero() {
+				if d := time.Until(resp.due); d > 0 {
+					// Flush what's already written before holding the
+					// next response, so earlier replies are not pinned
+					// behind this one's delay.
+					bw.Flush()
+					time.Sleep(d)
+				}
+			}
 			err := transport.WriteResponse(bw, resp.status, resp.body)
 			if err == nil && len(out) == 0 {
 				err = bw.Flush()
@@ -470,7 +489,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			break
 		}
 		status, body := s.handleRequest(req)
-		s.enqueue(out, &qmu, qcond, &queued, response{status: status, body: body})
+		resp := response{status: status, body: body}
+		if s.cfg.RespDelay > 0 {
+			resp.due = time.Now().Add(s.cfg.RespDelay)
+		}
+		s.enqueue(out, &qmu, qcond, &queued, resp)
 	}
 	close(out)
 	wg.Wait()

@@ -325,68 +325,140 @@ func (s *Store) Offload(ref *nn.ActRef) error {
 	return err
 }
 
-// commitEncoded pushes one encoded frame to the transport backend,
-// records the entry, and releases the ref's tensor (attaching the BRC
-// mask when present). The scheduler calls this in strict submission
-// order so the backend sees the same Put sequence as the synchronous
-// path.
-func (s *Store) commitEncoded(ref *nn.ActRef, data []byte, mask []bool) (*entry, error) {
+// commitTicket is one issued-but-unfinished commit: the sequence number
+// already claimed, the routed PUT in flight, and the ref bookkeeping
+// commitWait still has to perform. The scheduler keeps a bounded FIFO
+// of these so encode-commit traffic pipelines over the wire.
+type commitTicket struct {
+	ref  *nn.ActRef
+	seq  int
+	size int
+	mask []bool
+	pt   *putTicket
+}
+
+// commitIssue claims the next offload sequence number and launches the
+// routed PUT without waiting for the response. Callers must issue
+// tickets in strict submission order (the sequence and the wire order
+// must agree) and complete each one with commitWait, in the same order.
+func (s *Store) commitIssue(ref *nn.ActRef, data []byte, mask []bool) *commitTicket {
 	s.mu.Lock()
 	seq := s.nextSeq
 	s.nextSeq++
 	s.mu.Unlock()
-	// What Put reports is what actually landed on the backend
+	return &commitTicket{
+		ref: ref, seq: seq, size: len(data), mask: mask,
+		pt: s.putIssue(s.KeyBase|uint64(seq), data),
+	}
+}
+
+// commitWait blocks for the ticket's PUT result, records the entry, and
+// releases the ref's tensor (attaching the BRC mask when present).
+func (s *Store) commitWait(t *commitTicket) (*entry, error) {
+	// What the Put reports is what actually landed on the backend
 	// (send-side faults on the in-process channel are persistent).
-	stored, degraded, err := s.put(s.KeyBase|uint64(seq), data)
+	stored, degraded, err := s.putWait(t.pt)
 	if err != nil {
-		return nil, fmt.Errorf("offload: offload %q (%s): %w", ref.Name, ref.Kind, err)
+		return nil, fmt.Errorf("offload: offload %q (%s): %w", t.ref.Name, t.ref.Kind, err)
 	}
 	s.mu.Lock()
-	e := &entry{seq: seq, size: stored, degraded: degraded}
-	s.entries[ref] = e
+	e := &entry{seq: t.seq, size: stored, degraded: degraded}
+	s.entries[t.ref] = e
 	s.hostBytes += stored
 	s.mu.Unlock()
-	if mask != nil {
-		ref.Mask = mask
+	if t.mask != nil {
+		t.ref.Mask = t.mask
 	}
-	ref.T = nil
+	t.ref.T = nil
 	s.counters.Offloaded.Add(1)
 	s.counters.BytesOffloaded.Add(int64(stored))
 	return e, nil
 }
 
-// put routes one encoded frame to the wire or — when the circuit
-// breaker has opened, or opens on this very op's failure — to the
-// degraded local fallback. The bytes are identical either way (the
-// lossy codec ran before routing), so training trajectories stay
-// bit-identical across healthy, degraded, and recovered stretches.
-func (s *Store) put(key uint64, data []byte) (stored int, degraded bool, err error) {
+// commitEncoded pushes one encoded frame to the transport backend,
+// records the entry, and releases the ref's tensor (attaching the BRC
+// mask when present). The scheduler calls commitIssue/commitWait in
+// strict submission order so the backend sees the same Put sequence as
+// this synchronous path.
+func (s *Store) commitEncoded(ref *nn.ActRef, data []byte, mask []bool) (*entry, error) {
+	return s.commitWait(s.commitIssue(ref, data, mask))
+}
+
+// putTicket is one routed, in-flight PUT: either an async wire handle
+// plus the routing decision putWait needs to finish the breaker
+// accounting, or — when the breaker was already open at issue time — the
+// resolved fallback result.
+type putTicket struct {
+	key  uint64
+	data []byte
+	h    *transport.Pending
+	wire bool // issued over the breaker-guarded wire transport
+	// Resolved fallback result (h == nil).
+	stored int
+	err    error
+}
+
+// putIssue routes one encoded frame and launches the transfer without
+// waiting: to the wire (async, so issues pipeline up to the client's
+// window), or — when the circuit breaker is already open — straight to
+// the degraded local fallback. The breaker's routing decision is made
+// at issue time; a breaker that trips between issue and wait affects
+// the next issue, not this one (putWait still degrades this op's bytes
+// if its own wire attempt exhausts unavailable).
+func (s *Store) putIssue(key uint64, data []byte) *putTicket {
+	t := &putTicket{key: key, data: data}
 	if !s.breakerActive() {
-		n, err := s.transportOf().Put(key, data, s.retry())
+		t.h = transport.AsPipelined(s.transportOf()).PutAsync(key, data, s.retry())
+		return t
+	}
+	if !s.breakerOf().skipWire() {
+		t.wire = true
+		t.h = transport.AsPipelined(s.Transport).PutAsync(key, data, s.retry())
+		return t
+	}
+	s.counters.Degraded.Add(1)
+	t.stored, t.err = s.fallbackT().Put(key, data, transport.Retry{})
+	return t
+}
+
+// putWait completes a routed PUT: it reports what actually landed and
+// where, applying the breaker bookkeeping — a wire op whose whole retry
+// schedule failed at the connection level counts a failure, and once
+// the breaker trips the identical bytes land on the local fallback
+// instead, so training trajectories stay bit-identical across healthy,
+// degraded, and recovered stretches.
+func (s *Store) putWait(t *putTicket) (stored int, degraded bool, err error) {
+	if t.h == nil {
+		return t.stored, true, t.err
+	}
+	n, err := t.h.PutResult()
+	if !t.wire {
 		return n, false, err
 	}
 	b := s.breakerOf()
-	if !b.skipWire() {
-		n, err := s.Transport.Put(key, data, s.retry())
-		if err == nil {
-			b.onSuccess()
-			return n, false, nil
-		}
-		if !errors.Is(err, transport.ErrStoreUnavailable) {
-			// Payload-level failure (corruption past the retry budget):
-			// the wire is answering, so this is not a breaker event.
-			return 0, false, err
-		}
-		b.onFailure()
-		if !b.tripped() {
-			// Below the threshold the failure still surfaces; the
-			// recovery policy (retry/recompute) owns it.
-			return 0, false, err
-		}
+	if err == nil {
+		b.onSuccess()
+		return n, false, nil
+	}
+	if !errors.Is(err, transport.ErrStoreUnavailable) {
+		// Payload-level failure (corruption past the retry budget):
+		// the wire is answering, so this is not a breaker event.
+		return 0, false, err
+	}
+	b.onFailure()
+	if !b.tripped() {
+		// Below the threshold the failure still surfaces; the
+		// recovery policy (retry/recompute) owns it.
+		return 0, false, err
 	}
 	s.counters.Degraded.Add(1)
-	n, err := s.fallbackT().Put(key, data, transport.Retry{})
-	return n, true, err
+	n, ferr := s.fallbackT().Put(t.key, t.data, transport.Retry{})
+	return n, true, ferr
+}
+
+// put is the synchronous compose of putIssue and putWait.
+func (s *Store) put(key uint64, data []byte) (stored int, degraded bool, err error) {
+	return s.putWait(s.putIssue(key, data))
 }
 
 // lookup returns the entry for ref, if resident.
@@ -397,21 +469,44 @@ func (s *Store) lookup(ref *nn.ActRef) (*entry, bool) {
 	return e, ok
 }
 
-// read pulls the entry's bytes back through the transport layer (with
-// the policy's retry schedule), returning the verified frame without
-// decoding it. The coefficient-plan flag rides along so a networked
-// backend can count compressed-domain serving separately. It does not
-// mutate the store, so a failure leaves the entry untouched.
-func (s *Store) read(e *entry, ref *nn.ActRef) (*frame.Frame, error) {
+// readTicket is one issued, in-flight GET: an async wire handle plus
+// the breaker flag readWait needs, or — for a degraded entry whose only
+// copy lives in the fallback — the resolved frame.
+type readTicket struct {
+	h    *transport.Pending
+	wire bool
+	f    *frame.Frame
+	err  error
+}
+
+// readIssue launches the entry's read without waiting for the frame, so
+// a prefetcher can keep a window of staging GETs on the wire at once.
+// Responses complete in issue order (the wire protocol is FIFO), so the
+// caller must readWait tickets in the order it issued them.
+func (s *Store) readIssue(e *entry, ref *nn.ActRef) *readTicket {
 	coef := ref != nil && s.CoefPlan != nil && s.CoefPlan(ref)
+	t := &readTicket{}
 	if e.degraded {
 		// The frame was never sent to the wire; its only copy lives in
 		// the breaker's fallback.
 		s.counters.Degraded.Add(1)
-		return s.fallbackT().Get(s.key(e), transport.Retry{}, coef)
+		t.f, t.err = s.fallbackT().Get(s.key(e), transport.Retry{}, coef)
+		return t
 	}
-	f, err := s.transportOf().Get(s.key(e), s.retry(), coef)
-	if s.breakerActive() {
+	t.wire = s.breakerActive()
+	t.h = transport.AsPipelined(s.transportOf()).GetAsync(s.key(e), s.retry(), coef)
+	return t
+}
+
+// readWait completes an issued read, returning the verified frame
+// without decoding it and applying the breaker bookkeeping. It does not
+// mutate the store, so a failure leaves the entry untouched.
+func (s *Store) readWait(t *readTicket) (*frame.Frame, error) {
+	if t.h == nil {
+		return t.f, t.err
+	}
+	f, err := t.h.GetResult()
+	if t.wire {
 		if err == nil {
 			s.breakerOf().onSuccess()
 		} else if errors.Is(err, transport.ErrStoreUnavailable) {
@@ -423,6 +518,14 @@ func (s *Store) read(e *entry, ref *nn.ActRef) (*frame.Frame, error) {
 		}
 	}
 	return f, err
+}
+
+// read pulls the entry's bytes back through the transport layer (with
+// the policy's retry schedule): the synchronous compose of readIssue
+// and readWait. The coefficient-plan flag rides along so a networked
+// backend can count compressed-domain serving separately.
+func (s *Store) read(e *entry, ref *nn.ActRef) (*frame.Frame, error) {
+	return s.readWait(s.readIssue(e, ref))
 }
 
 // deleteEntry releases the backend copy wherever it lives.

@@ -75,28 +75,34 @@ func dialConn(dial Dialer, timeout time.Duration) (net.Conn, error) {
 	}
 }
 
-// NetClient is the wire-protocol Transport backend: every operation is
-// one length-prefixed request/response round trip over a single
-// connection, serialized by a mutex (the offload scheduler's committer
-// and prefetcher are each single goroutines, so one connection is the
-// natural width; run more clients for more parallelism).
+// NetClient is the wire-protocol Transport backend. Since PR 10 it is a
+// *pipelined* client: operations are submitted to an internal queue, a
+// pump goroutine streams up to Window requests onto one connection, and
+// a reader goroutine matches responses to requests strictly FIFO (the
+// wire protocol carries no request IDs; order is the contract). The
+// synchronous Put/Get/Delete/ServerStats are the degenerate
+// window-of-1 case — submit one op, wait for its handle — so their
+// observable behaviour is unchanged from the stop-and-wait client.
 //
 // Failure handling is connection-granular: any dial, write, read or
-// frame-validation failure closes the connection, and the Retry
-// schedule re-dials and resends the request — the PR 2 retry policy
-// with reconnection as the re-read. Requests are idempotent (PUT
-// overwrites, GET is a read, DELETE tolerates NotFound), so a resend
-// after a mid-frame drop is always safe.
+// frame-validation failure closes the connection and *poisons* every
+// op in flight on it — each is charged one failed attempt through its
+// own Retry schedule and the survivors are resent in original
+// submission order, ahead of anything not yet sent. Requests are
+// idempotent (PUT overwrites, GET is a read, DELETE tolerates
+// NotFound), so a resend after a mid-frame drop is always safe.
 //
 // Deadlines bound every attempt (Retry.OpTimeout, via conn deadlines,
 // with the client-level OpTimeout as the fallback) and the schedule as
 // a whole (Retry.Total): once the budget is spent the operation returns
 // a typed ErrStoreUnavailable instead of spinning on a dead server.
 type NetClient struct {
-	// Latency, when set, observes every successful round trip (op code
-	// and wall-clock duration) — the hook offloadbench hangs its
-	// percentile collector on. Set before first use. It may be invoked
-	// concurrently when hedging is enabled.
+	// Latency, when set, observes every successful exchange (op code
+	// and wall-clock duration from the request hitting the wire to its
+	// response validating) — the hook offloadbench hangs its percentile
+	// collector on. Set before first use. It is invoked from the
+	// client's reader goroutine (and the hedge goroutine when hedging
+	// is enabled), so it must be safe for concurrent use.
 	Latency func(op uint8, d time.Duration)
 	// OpTimeout is the client-level per-attempt deadline applied when
 	// the operation's Retry schedule carries none — it also bounds
@@ -104,20 +110,33 @@ type NetClient struct {
 	// 0 = no deadline. Set before first use.
 	OpTimeout time.Duration
 	// Hedge, when > 0, arms tail-latency hedging on GETs: if the
-	// primary connection has not answered within the delay, the same
+	// oldest in-flight GET has not answered within the delay, the same
 	// request is raced on a fresh connection and the first answer wins.
-	// The abandoned primary is poisoned (its response would arrive
-	// unsolicited) and dropped. Each hedge launched counts in
+	// A hedge win abandons the primary exchange, which poisons the
+	// connection (the late response would desynchronize the stream) and
+	// resends every other in-flight op. Each hedge launched counts in
 	// Counters.Hedged. Set before first use.
 	Hedge time.Duration
+	// Window bounds how many operations may be queued-or-in-flight on
+	// the wire at once (<= 1 is the stop-and-wait default). Submitting
+	// past the window blocks — backpressure, not buffering. Set before
+	// first use.
+	Window int
 
 	dial     Dialer
 	counters *Counters
 
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	pmu        sync.Mutex
+	pcond      *sync.Cond
+	queue      []*Pending // submitted, not yet on the wire
+	inflight   []*Pending // written, awaiting responses (FIFO)
+	conn       net.Conn
+	br         *bufio.Reader
+	bw         *bufio.Writer
+	epoch      uint64 // retired on every poison/redial; keys the reader
+	needRedial bool   // next dial is a reconnect (counted)
+	pumping    bool
+	closed     bool
 }
 
 // NewNetClient builds a client over dial. Pass the owning store's
@@ -127,7 +146,9 @@ func NewNetClient(dial Dialer, c *Counters) *NetClient {
 	if c == nil {
 		c = &Counters{}
 	}
-	return &NetClient{dial: dial, counters: c}
+	n := &NetClient{dial: dial, counters: c}
+	n.pcond = sync.NewCond(&n.pmu)
+	return n
 }
 
 // effTimeout resolves an op's deadline: the schedule's, else the
@@ -144,37 +165,10 @@ func budgetSpent(start time.Time, r Retry) bool {
 	return r.Total > 0 && time.Since(start) >= r.Total
 }
 
-// ensureConn dials if no connection is live. Called with mu held.
-func (c *NetClient) ensureConn(redial bool, timeout time.Duration) error {
-	if c.conn != nil {
-		return nil
-	}
-	if redial {
-		c.counters.Reconnects.Add(1)
-	}
-	conn, err := dialConn(c.dial, timeout)
-	if err != nil {
-		return fmt.Errorf("transport: dial activation store: %w", err)
-	}
-	c.conn = conn
-	c.br = bufio.NewReader(conn)
-	c.bw = bufio.NewWriter(conn)
-	return nil
-}
-
-// dropConn closes the (poisoned) connection. Called with mu held.
-func (c *NetClient) dropConn() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-		c.br, c.bw = nil, nil
-	}
-}
-
 // roundTrip performs one request/response exchange on an explicit
 // connection under an optional deadline. It touches no client state
-// beyond the Latency hook, so a hedge can run it concurrently with the
-// primary's exchange on a different connection.
+// beyond the Latency hook; the hedge path runs it on a private
+// connection concurrently with the pipelined stream.
 func (c *NetClient) roundTrip(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, op uint8, key uint64, body []byte, timeout time.Duration) (uint8, []byte, error) {
 	if timeout > 0 {
 		conn.SetDeadline(time.Now().Add(timeout))
@@ -199,20 +193,6 @@ func (c *NetClient) roundTrip(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 	return 0, nil, err
 }
 
-// once performs a single request/response round trip on the client's
-// connection, dropping it on any transport-level failure so the next
-// attempt redials. Called with mu held.
-func (c *NetClient) once(op uint8, key uint64, body []byte, redial bool, timeout time.Duration) (uint8, []byte, error) {
-	if err := c.ensureConn(redial, timeout); err != nil {
-		return 0, nil, err
-	}
-	status, resp, err := c.roundTrip(c.conn, c.br, c.bw, op, key, body, timeout)
-	if err != nil {
-		c.dropConn()
-	}
-	return status, resp, err
-}
-
 // unavailable wraps the terminal error of an exhausted schedule whose
 // failures were all connection-level — the typed verdict the circuit
 // breaker above keys on.
@@ -220,50 +200,15 @@ func unavailable(op string, key uint64, attempts int, err error) error {
 	return fmt.Errorf("transport: %s %d: %w after %d attempts: %v", op, key, ErrStoreUnavailable, attempts, err)
 }
 
-// Put implements Transport: the frame bytes are shipped under the key,
-// with reconnect+resend on connection failures and a resend when the
-// server reports the payload arrived CRC-corrupt. What the server
-// acknowledged is what it stored, so stored == len(data) on success.
-// An exhausted schedule (attempts or Total wall budget) against a dead
-// server returns a typed ErrStoreUnavailable.
+// Put implements Transport: the synchronous window-of-1 form of
+// PutAsync. The frame bytes are shipped under the key, with
+// reconnect+resend on connection failures and a resend when the server
+// reports the payload arrived CRC-corrupt. What the server acknowledged
+// is what it stored, so stored == len(data) on success. An exhausted
+// schedule (attempts or Total wall budget) against a dead server
+// returns a typed ErrStoreUnavailable.
 func (c *NetClient) Put(key uint64, data []byte, r Retry) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	backoff := r.Backoff
-	start := time.Now()
-	redial := false
-	var err error
-	for attempt := 0; ; attempt++ {
-		var status uint8
-		status, _, err = c.once(OpPut, key, data, redial, c.effTimeout(r.OpTimeout))
-		connFail := err != nil
-		if err == nil {
-			switch status {
-			case StatusOK:
-				return len(data), nil
-			case StatusCorrupt:
-				// The server CRC-checked the frame and refused it: the
-				// bytes were damaged in flight. The local copy is intact,
-				// so a resend recovers.
-				err = fmt.Errorf("transport: put %d: server rejected frame: %w", key, frame.ErrChecksum)
-			default:
-				return 0, fmt.Errorf("transport: put %d: server status %d", key, status)
-			}
-		}
-		redial = c.conn == nil
-		c.counters.Corrupted.Add(1)
-		if attempt >= r.Attempts || budgetSpent(start, r) {
-			if connFail {
-				return 0, unavailable("put", key, attempt+1, err)
-			}
-			return 0, err
-		}
-		c.counters.Retried.Add(1)
-		if backoff > 0 {
-			r.sleep(backoff)
-			backoff *= 2
-		}
-	}
+	return c.PutAsync(key, data, r).PutResult()
 }
 
 // rtResult carries one round trip's outcome between goroutines.
@@ -274,7 +219,7 @@ type rtResult struct {
 }
 
 // hedgeTrip runs the hedged copy of a GET: a fresh connection, one
-// exchange, closed either way — it never touches the primary's state.
+// exchange, closed either way — it never touches the pipeline's state.
 func (c *NetClient) hedgeTrip(op uint8, key uint64, timeout time.Duration) (uint8, []byte, error) {
 	conn, err := dialConn(c.dial, timeout)
 	if err != nil {
@@ -284,117 +229,15 @@ func (c *NetClient) hedgeTrip(op uint8, key uint64, timeout time.Duration) (uint
 	return c.roundTrip(conn, bufio.NewReader(conn), bufio.NewWriter(conn), op, key, nil, timeout)
 }
 
-// getAttempt is one attempt of a GET: the plain round trip, or — with
-// hedging armed — the primary exchange raced against a second
-// connection once the hedge delay passes. Called with mu held.
-func (c *NetClient) getAttempt(op uint8, key uint64, redial bool, timeout time.Duration) (uint8, []byte, error) {
-	if c.Hedge <= 0 {
-		return c.once(op, key, nil, redial, timeout)
-	}
-	if err := c.ensureConn(redial, timeout); err != nil {
-		return 0, nil, err
-	}
-	conn, br, bw := c.conn, c.br, c.bw
-	prim := make(chan rtResult, 1)
-	go func() {
-		s, b, e := c.roundTrip(conn, br, bw, op, key, nil, timeout)
-		prim <- rtResult{s, b, e}
-	}()
-	t := time.NewTimer(c.Hedge)
-	defer t.Stop()
-	select {
-	case res := <-prim:
-		if res.err != nil {
-			c.dropConn()
-		}
-		return res.status, res.body, res.err
-	case <-t.C:
-	}
-	c.counters.Hedged.Add(1)
-	hed := make(chan rtResult, 1)
-	go func() {
-		s, b, e := c.hedgeTrip(op, key, timeout)
-		hed <- rtResult{s, b, e}
-	}()
-	select {
-	case res := <-prim:
-		// The primary answered after all; the hedge connection closes
-		// itself and its answer is discarded.
-		if res.err != nil {
-			c.dropConn()
-		}
-		return res.status, res.body, res.err
-	case res := <-hed:
-		if res.err != nil {
-			// The hedge lost too; fall back to whatever the primary does.
-			res2 := <-prim
-			if res2.err != nil {
-				c.dropConn()
-			}
-			return res2.status, res2.body, res2.err
-		}
-		// The hedge won. The primary exchange is abandoned mid-flight:
-		// its response would arrive unsolicited and desynchronize the
-		// stream, so the connection is poisoned — close it, wait for the
-		// reader goroutine to notice, then release the state.
-		conn.Close()
-		<-prim
-		c.dropConn()
-		return res.status, res.body, res.err
-	}
-}
-
-// Get implements Transport: the stored frame is fetched and validated
-// client-side (the CRC ran on this side of the wire, so a frame that
-// decodes here is trustworthy no matter what the link did). Connection
-// failures and CRC mismatches both retry on the schedule; a NotFound is
-// terminal. An exhausted schedule of connection-level failures returns
-// a typed ErrStoreUnavailable.
+// Get implements Transport: the synchronous window-of-1 form of
+// GetAsync. The stored frame is fetched and validated client-side (the
+// CRC ran on this side of the wire, so a frame that decodes here is
+// trustworthy no matter what the link did). Connection failures and CRC
+// mismatches both retry on the schedule; a NotFound is terminal. An
+// exhausted schedule of connection-level failures returns a typed
+// ErrStoreUnavailable.
 func (c *NetClient) Get(key uint64, r Retry, coef bool) (*frame.Frame, error) {
-	op := OpGet
-	if coef {
-		op = OpGetCoef
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	backoff := r.Backoff
-	start := time.Now()
-	redial := false
-	var err error
-	for attempt := 0; ; attempt++ {
-		var status uint8
-		var body []byte
-		status, body, err = c.getAttempt(op, key, redial, c.effTimeout(r.OpTimeout))
-		connFail := err != nil
-		if err == nil {
-			switch status {
-			case StatusOK:
-				var f *frame.Frame
-				f, err = frame.DecodeFrame(body)
-				if err == nil {
-					c.counters.BytesVerified.Add(int64(len(body)))
-					return f, nil
-				}
-			case StatusNotFound:
-				return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
-			default:
-				return nil, fmt.Errorf("transport: get %d: server status %d", key, status)
-			}
-		}
-		redial = c.conn == nil
-		c.counters.Corrupted.Add(1)
-		if attempt >= r.Attempts || budgetSpent(start, r) {
-			if connFail {
-				return nil, unavailable("get", key, attempt+1, err)
-			}
-			return nil, err
-		}
-		c.counters.Retried.Add(1)
-		if backoff > 0 {
-			r.sleep(backoff)
-			backoff *= 2
-		}
-	}
+	return c.GetAsync(key, r, coef).GetResult()
 }
 
 // Delete implements Transport. Deletes are housekeeping after a
@@ -402,57 +245,43 @@ func (c *NetClient) Get(key uint64, r Retry, coef bool) (*frame.Frame, error) {
 // (under the client-level OpTimeout) and tolerate NotFound (another
 // retry may already have landed it).
 func (c *NetClient) Delete(key uint64) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	redial := false
-	var err error
-	for attempt := 0; attempt < 3; attempt++ {
-		var status uint8
-		status, _, err = c.once(OpDelete, key, nil, redial, c.OpTimeout)
-		if err == nil {
-			if status == StatusOK || status == StatusNotFound {
-				return nil
-			}
-			return fmt.Errorf("transport: delete %d: server status %d", key, status)
-		}
-		redial = c.conn == nil
-		c.counters.Retried.Add(1)
-	}
-	return err
+	return c.submit(newPending(OpDelete, key, nil, Retry{Attempts: 2})).Err()
 }
 
 // ServerStats fetches the server's unified counter snapshot (the same
 // Snapshot shape every layer of the stack reports).
 func (c *NetClient) ServerStats() (Snapshot, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	redial := false
-	var err error
-	for attempt := 0; attempt < 3; attempt++ {
-		var status uint8
-		var body []byte
-		status, body, err = c.once(OpStats, 0, nil, redial, c.OpTimeout)
-		if err == nil {
-			if status != StatusOK {
-				return Snapshot{}, fmt.Errorf("transport: stats: server status %d", status)
-			}
-			var s Snapshot
-			if jerr := json.Unmarshal(body, &s); jerr != nil {
-				return Snapshot{}, fmt.Errorf("transport: stats: %w", jerr)
-			}
-			return s, nil
-		}
-		redial = c.conn == nil
-		c.counters.Retried.Add(1)
+	p := c.submit(newPending(OpStats, 0, nil, Retry{Attempts: 2}))
+	if err := p.Err(); err != nil {
+		return Snapshot{}, err
 	}
-	return Snapshot{}, err
+	var s Snapshot
+	if err := json.Unmarshal(p.resp, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("transport: stats: %w", err)
+	}
+	return s, nil
 }
 
-// Close implements Transport.
+// Close implements Transport: the pipeline is quiesced — any
+// outstanding ops fail with a typed ErrStoreUnavailable, the goroutines
+// park and the connection drops. The client remains usable; a later
+// operation reopens the pipeline (matching the old stop-and-wait
+// client, which would simply redial).
 func (c *NetClient) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.dropConn()
+	c.pmu.Lock()
+	c.closed = true
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.br, c.bw = nil, nil, nil
+	}
+	c.epoch++
+	outstanding := append(c.inflight, c.queue...)
+	c.inflight, c.queue = nil, nil
+	for _, p := range outstanding {
+		p.complete(fmt.Errorf("transport: %s %d: %w: client closed", opName(p.op), p.key, ErrStoreUnavailable))
+	}
+	c.pcond.Broadcast()
+	c.pmu.Unlock()
 	return nil
 }
 

@@ -1,0 +1,567 @@
+package transport
+
+// Pipelined wire transport: the windowed async face of NetClient.
+//
+// The wire protocol (wire.go) carries no request IDs — responses come
+// back in request order — so a client may keep several requests in
+// flight on one connection as long as it (a) writes them from a single
+// goroutine, (b) matches responses to requests strictly FIFO, and
+// (c) on any connection-level failure treats *every* in-flight request
+// as lost, because a torn response desynchronizes the stream. The
+// netstore server has served per-connection reader/writer goroutines
+// since PR 5; this file adds the client half.
+//
+// Machinery: submitted ops queue on the client; a pump goroutine
+// streams requests onto the wire while at most window() ops are in
+// flight, and a per-connection reader goroutine drains responses in
+// order, completing the in-flight FIFO head each time. Any dial, write,
+// read or wire failure *poisons* the connection: it is closed, every
+// in-flight op is charged one failed attempt through its own Retry
+// schedule, and the survivors are resent in original submission order
+// ahead of everything still queued — so the server observes the same
+// logical op sequence a stop-and-wait client would, just denser. The
+// sync Put/Get/Delete/ServerStats are the degenerate window-of-1 case:
+// submit one op, wait for its handle.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"jpegact/internal/frame"
+)
+
+// Pipelined is the capability interface of transports that accept
+// asynchronous operations with completion handles. NetClient implements
+// it with a true wire window; Local implements it inline (the op runs
+// synchronously at submit time and the handle comes back already
+// resolved), so schedulers written against handles keep the in-process
+// backend's deterministic op ordering for free.
+type Pipelined interface {
+	Transport
+	// PutAsync submits one PUT and returns its completion handle. The
+	// call blocks only for window backpressure, never for the wire.
+	PutAsync(key uint64, data []byte, r Retry) *Pending
+	// GetAsync submits one GET (or coefficient GET) likewise.
+	GetAsync(key uint64, r Retry, coef bool) *Pending
+}
+
+// AsPipelined adapts any Transport to the Pipelined interface. Backends
+// that implement it natively are returned as-is; anything else gets a
+// shim that executes each op synchronously at submit time — the handle
+// is already resolved when it comes back, which preserves the backend's
+// op ordering exactly.
+func AsPipelined(t Transport) Pipelined {
+	if p, ok := t.(Pipelined); ok {
+		return p
+	}
+	return syncPipelined{t}
+}
+
+type syncPipelined struct{ Transport }
+
+func (s syncPipelined) PutAsync(key uint64, data []byte, r Retry) *Pending {
+	n, err := s.Put(key, data, r)
+	return resolvedPending(OpPut, key, func(p *Pending) { p.stored = n; p.err = err })
+}
+
+func (s syncPipelined) GetAsync(key uint64, r Retry, coef bool) *Pending {
+	op := uint8(OpGet)
+	if coef {
+		op = OpGetCoef
+	}
+	f, err := s.Get(key, r, coef)
+	return resolvedPending(op, key, func(p *Pending) { p.f = f; p.err = err })
+}
+
+// Pending is the completion handle of one asynchronous transport op. It
+// is created by PutAsync/GetAsync (and internally by the sync wrappers)
+// and completed exactly once by the client machinery; callers wait on
+// Done or one of the typed result accessors.
+type Pending struct {
+	op   uint8
+	key  uint64
+	body []byte // request payload (PUT); retained for resends
+	coef bool
+
+	retry   Retry
+	start   time.Time     // schedule wall budget anchor
+	attempt int           // index of the try currently in flight
+	backoff time.Duration // next backoff delay (doubles per retry)
+	wait    time.Duration // sleep owed before the next send
+	sentAt  time.Time     // when the current try hit the wire
+
+	done   chan struct{}
+	stored int          // PUT result
+	f      *frame.Frame // GET result
+	resp   []byte       // STATS body
+	err    error
+}
+
+func newPending(op uint8, key uint64, body []byte, r Retry) *Pending {
+	return &Pending{
+		op: op, key: key, body: body, retry: r,
+		start: time.Now(), backoff: r.Backoff,
+		done: make(chan struct{}),
+	}
+}
+
+func resolvedPending(op uint8, key uint64, fill func(*Pending)) *Pending {
+	p := &Pending{op: op, key: key, done: make(chan struct{})}
+	fill(p)
+	close(p.done)
+	return p
+}
+
+// complete resolves the handle. Must be called exactly once.
+func (p *Pending) complete(err error) {
+	p.err = err
+	close(p.done)
+}
+
+// Done is closed when the op has resolved (successfully or not).
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Err waits for completion and returns the op's terminal error.
+func (p *Pending) Err() error {
+	<-p.done
+	return p.err
+}
+
+// PutResult waits for completion of a PUT and returns the stored byte
+// count, mirroring Transport.Put.
+func (p *Pending) PutResult() (int, error) {
+	<-p.done
+	return p.stored, p.err
+}
+
+// GetResult waits for completion of a GET and returns the verified
+// frame, mirroring Transport.Get.
+func (p *Pending) GetResult() (*frame.Frame, error) {
+	<-p.done
+	return p.f, p.err
+}
+
+// opName maps a wire op code onto the label retry errors carry.
+func opName(op uint8) string {
+	switch op {
+	case OpPut:
+		return "put"
+	case OpGet, OpGetCoef:
+		return "get"
+	case OpDelete:
+		return "delete"
+	case OpStats:
+		return "stats"
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// errPoisoned is the cause recorded when an op is resent not because
+// its own exchange failed but because a neighbouring failure tore the
+// shared response stream.
+var errPoisoned = errors.New("transport: connection poisoned mid-window")
+
+// window returns the effective in-flight bound (>= 1).
+func (c *NetClient) window() int {
+	if c.Window > 1 {
+		return c.Window
+	}
+	return 1
+}
+
+// PutAsync implements Pipelined: the op joins the pipeline and its
+// handle resolves when the server acknowledges the frame (with
+// reconnect+resend on connection failures and a resend when the server
+// reports the payload CRC-corrupt, exactly the sync Put schedule).
+// Blocks while the window is full.
+func (c *NetClient) PutAsync(key uint64, data []byte, r Retry) *Pending {
+	return c.submit(newPending(OpPut, key, data, r))
+}
+
+// GetAsync implements Pipelined: the handle resolves with the
+// CRC-verified frame, with the sync Get's retry and NotFound semantics.
+// Blocks while the window is full.
+func (c *NetClient) GetAsync(key uint64, r Retry, coef bool) *Pending {
+	op := uint8(OpGet)
+	if coef {
+		op = OpGetCoef
+	}
+	p := newPending(op, key, nil, r)
+	p.coef = coef
+	return c.submit(p)
+}
+
+// submit enqueues p behind every earlier op, applying window
+// backpressure: at most window() ops may be queued-or-in-flight, so a
+// producer that outruns the wire blocks here rather than growing an
+// unbounded buffer of retained PUT bodies.
+func (c *NetClient) submit(p *Pending) *Pending {
+	c.pmu.Lock()
+	for len(c.queue)+len(c.inflight) >= c.window() && !c.closed {
+		c.pcond.Wait()
+	}
+	if c.closed {
+		// A Close raced the submit; reopen the pipeline (Close is a
+		// quiesce, not a permanent seal — the sync client could always
+		// be used again after Close).
+		c.closed = false
+	}
+	c.queue = append(c.queue, p)
+	if !c.pumping {
+		c.pumping = true
+		go c.pump()
+	}
+	c.pcond.Broadcast()
+	c.pmu.Unlock()
+	return p
+}
+
+// pump is the writer goroutine: it pops queued ops while the in-flight
+// window has room, dials when no connection is live, and streams
+// requests onto the wire. It parks on the cond when idle and exits on
+// Close.
+func (c *NetClient) pump() {
+	for {
+		c.pmu.Lock()
+		for !c.closed && (len(c.queue) == 0 || len(c.inflight) >= c.window()) {
+			c.pcond.Wait()
+		}
+		if c.closed {
+			c.pumping = false
+			c.pcond.Broadcast()
+			c.pmu.Unlock()
+			return
+		}
+		head := c.queue[0]
+		if head.wait > 0 {
+			// The backoff this op's schedule owes before its resend. Sleep
+			// it off *before* the op enters the in-flight FIFO, so the
+			// reader's per-attempt deadline does not start ticking against
+			// a request that has not been written yet.
+			owed := head.wait
+			head.wait = 0
+			c.pmu.Unlock()
+			head.retry.sleep(owed)
+			continue
+		}
+		if c.conn == nil {
+			redial := c.needRedial
+			timeout := c.effTimeout(head.retry.OpTimeout)
+			c.pmu.Unlock()
+			conn, err := dialConn(c.dial, timeout)
+			c.pmu.Lock()
+			if c.closed {
+				if conn != nil {
+					conn.Close()
+				}
+				c.pumping = false
+				c.pcond.Broadcast()
+				c.pmu.Unlock()
+				return
+			}
+			if err != nil {
+				// The dial served the head op; charge the failure to it
+				// alone — nothing else was on this connection yet. Pop it
+				// first: chargeFailureLocked requeues survivors itself.
+				if len(c.queue) > 0 && c.queue[0] == head {
+					c.queue = c.queue[1:]
+				}
+				c.chargeFailureLocked(head, fmt.Errorf("transport: dial activation store: %w", err), true)
+				c.pmu.Unlock()
+				continue
+			}
+			if redial {
+				c.counters.Reconnects.Add(1)
+				c.needRedial = false
+			}
+			c.conn = conn
+			c.br = bufio.NewReader(conn)
+			c.bw = bufio.NewWriter(conn)
+			c.epoch++
+			go c.readLoop(c.epoch, conn, c.br)
+		}
+		// Move head into the in-flight FIFO before writing, so a torn
+		// write is resent by the same poison path as a torn read.
+		c.queue = c.queue[1:]
+		c.inflight = append(c.inflight, head)
+		conn, bw, epoch := c.conn, c.bw, c.epoch
+		head.sentAt = time.Now()
+		c.pcond.Broadcast()
+		c.pmu.Unlock()
+
+		if t := c.effTimeout(head.retry.OpTimeout); t > 0 {
+			conn.SetWriteDeadline(time.Now().Add(t))
+		} else {
+			conn.SetWriteDeadline(time.Time{})
+		}
+		err := WriteRequest(bw, head.op, head.key, head.body)
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			c.pmu.Lock()
+			c.poisonLocked(epoch, fmt.Errorf("transport: write %s %d: %w", opName(head.op), head.key, err))
+			c.pmu.Unlock()
+		}
+	}
+}
+
+// readLoop is the reader goroutine of one connection epoch: it waits
+// for ops to be in flight, reads responses in order and completes the
+// FIFO head each time. It exits when the epoch is retired (poison or a
+// fresh dial) or the client closes.
+func (c *NetClient) readLoop(epoch uint64, conn net.Conn, br *bufio.Reader) {
+	for {
+		c.pmu.Lock()
+		for c.epoch == epoch && !c.closed && len(c.inflight) == 0 {
+			c.pcond.Wait()
+		}
+		if c.epoch != epoch || c.closed {
+			c.pmu.Unlock()
+			return
+		}
+		head := c.inflight[0]
+		hedge := c.Hedge
+		c.pmu.Unlock()
+
+		if t := c.effTimeout(head.retry.OpTimeout); t > 0 {
+			conn.SetReadDeadline(time.Now().Add(t))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+
+		if hedge > 0 && (head.op == OpGet || head.op == OpGetCoef) {
+			if c.readHedged(epoch, conn, br, head, hedge) {
+				return // epoch retired by a hedge win or a poison
+			}
+			continue
+		}
+
+		status, body, err := ReadResponse(br)
+		if c.settle(epoch, head, status, body, err) {
+			return
+		}
+	}
+}
+
+// settle processes one primary-connection response (or read error) for
+// the in-flight head. It reports whether the epoch was retired and the
+// read loop must exit.
+func (c *NetClient) settle(epoch uint64, head *Pending, status uint8, body []byte, err error) bool {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.epoch != epoch {
+		// Poisoned while the read was in flight: the op was already
+		// requeued (or failed) by the poison pass; this response — if it
+		// even is one — belongs to a retired stream.
+		return true
+	}
+	if err != nil {
+		c.poisonLocked(epoch, fmt.Errorf("transport: read %s %d: %w", opName(head.op), head.key, err))
+		return true
+	}
+	c.inflight = c.inflight[1:]
+	c.finishResponseLocked(head, status, body)
+	c.pcond.Broadcast()
+	return false
+}
+
+// readHedged reads the head GET's response racing a tail-latency hedge:
+// if the primary stays silent past the hedge delay, the same request
+// runs on a fresh connection and the first answer wins. A hedge win
+// abandons the primary exchange mid-flight, which poisons the whole
+// connection — the head completes from the hedge response and every
+// other in-flight op is resent. Reports whether the epoch was retired.
+func (c *NetClient) readHedged(epoch uint64, conn net.Conn, br *bufio.Reader, head *Pending, hedge time.Duration) bool {
+	prim := make(chan rtResult, 1)
+	go func() {
+		s, b, e := ReadResponse(br)
+		prim <- rtResult{s, b, e}
+	}()
+	t := time.NewTimer(hedge)
+	defer t.Stop()
+	select {
+	case res := <-prim:
+		return c.settle(epoch, head, res.status, res.body, res.err)
+	case <-t.C:
+	}
+	c.counters.Hedged.Add(1)
+	hed := make(chan rtResult, 1)
+	go func() {
+		s, b, e := c.hedgeTrip(head.op, head.key, c.effTimeout(head.retry.OpTimeout))
+		hed <- rtResult{s, b, e}
+	}()
+	select {
+	case res := <-prim:
+		// The primary answered after all; the hedge connection closes
+		// itself and its answer is discarded.
+		return c.settle(epoch, head, res.status, res.body, res.err)
+	case res := <-hed:
+		if res.err != nil {
+			// The hedge lost too; fall back to whatever the primary does.
+			r2 := <-prim
+			return c.settle(epoch, head, r2.status, r2.body, r2.err)
+		}
+		// The hedge won. The primary's response would arrive unsolicited
+		// and desynchronize the stream, so the connection is poisoned:
+		// close it, wait for the abandoned read to notice, then resend
+		// every *other* in-flight op in order. The head itself settles
+		// from the hedge's answer.
+		conn.Close()
+		<-prim
+		c.pmu.Lock()
+		defer c.pmu.Unlock()
+		if c.epoch != epoch {
+			return true
+		}
+		c.inflight = c.inflight[1:]
+		c.poisonLocked(epoch, errPoisoned)
+		// The hedge's own round trip already fired the Latency hook; zero
+		// sentAt so the completion below does not observe the op twice.
+		head.sentAt = time.Time{}
+		c.finishResponseLocked(head, res.status, res.body)
+		c.pcond.Broadcast()
+		return true
+	}
+}
+
+// finishResponseLocked applies one well-formed response to its op:
+// terminal statuses complete the handle; a payload-level failure
+// (server-reported CRC refusal on PUT, client-side CRC failure on GET)
+// charges the op's retry schedule and requeues it at the very front.
+// Called with pmu held.
+func (c *NetClient) finishResponseLocked(p *Pending, status uint8, body []byte) {
+	switch p.op {
+	case OpPut:
+		switch status {
+		case StatusOK:
+			p.stored = len(p.body)
+			c.observe(p)
+			p.complete(nil)
+		case StatusCorrupt:
+			// The server CRC-checked the frame and refused it: the bytes
+			// were damaged in flight. The local copy is intact, so a
+			// resend recovers.
+			c.chargeFailureLocked(p, fmt.Errorf("transport: put %d: server rejected frame: %w", p.key, frame.ErrChecksum), false)
+		default:
+			p.complete(fmt.Errorf("transport: put %d: server status %d", p.key, status))
+		}
+	case OpGet, OpGetCoef:
+		switch status {
+		case StatusOK:
+			f, err := frame.DecodeFrame(body)
+			if err != nil {
+				// Damaged in flight; the server's copy is CRC-intact, so a
+				// re-read recovers.
+				c.chargeFailureLocked(p, err, false)
+				return
+			}
+			c.counters.BytesVerified.Add(int64(len(body)))
+			p.f = f
+			c.observe(p)
+			p.complete(nil)
+		case StatusNotFound:
+			p.complete(fmt.Errorf("%w: %d", ErrNotFound, p.key))
+		default:
+			p.complete(fmt.Errorf("transport: get %d: server status %d", p.key, status))
+		}
+	case OpDelete:
+		if status == StatusOK || status == StatusNotFound {
+			c.observe(p)
+			p.complete(nil)
+			return
+		}
+		p.complete(fmt.Errorf("transport: delete %d: server status %d", p.key, status))
+	case OpStats:
+		if status != StatusOK {
+			p.complete(fmt.Errorf("transport: stats: server status %d", status))
+			return
+		}
+		p.resp = body
+		c.observe(p)
+		p.complete(nil)
+	default:
+		p.complete(fmt.Errorf("transport: %s %d: unknown op", opName(p.op), p.key))
+	}
+}
+
+// observe fires the Latency hook for a successful exchange, measured
+// from the moment the request hit the wire.
+func (c *NetClient) observe(p *Pending) {
+	if c.Latency != nil && !p.sentAt.IsZero() {
+		c.Latency(p.op, time.Since(p.sentAt))
+	}
+}
+
+// chargeFailureLocked charges one failed attempt to p's retry schedule:
+// an exhausted schedule completes the handle (with the typed
+// ErrStoreUnavailable verdict when the failure was connection-level),
+// otherwise the op is requeued at the front of the queue with its
+// backoff owed. Called with pmu held.
+func (c *NetClient) chargeFailureLocked(p *Pending, cause error, connFail bool) {
+	c.counters.Corrupted.Add(1)
+	if p.attempt >= p.retry.Attempts || budgetSpent(p.start, p.retry) {
+		if connFail {
+			p.complete(unavailable(opName(p.op), p.key, p.attempt+1, cause))
+		} else {
+			p.complete(cause)
+		}
+		c.pcond.Broadcast()
+		return
+	}
+	p.attempt++
+	c.counters.Retried.Add(1)
+	if p.backoff > 0 {
+		p.wait = p.backoff
+		p.backoff *= 2
+	}
+	c.queue = append([]*Pending{p}, c.queue...)
+	c.pcond.Broadcast()
+}
+
+// poisonLocked retires the current connection epoch after a
+// connection-level failure: the conn is closed, the reader epoch is
+// invalidated, and every in-flight op is charged one failed attempt —
+// survivors are prepended to the queue *in their original submission
+// order*, ahead of everything not yet sent, so the resend stream
+// replays the exact op sequence the server would have seen. Called with
+// pmu held; no-op if the epoch was already retired.
+func (c *NetClient) poisonLocked(epoch uint64, cause error) {
+	if c.epoch != epoch || c.conn == nil {
+		return
+	}
+	c.conn.Close()
+	c.conn, c.br, c.bw = nil, nil, nil
+	c.needRedial = true
+	c.epoch++
+	victims := c.inflight
+	c.inflight = nil
+	// Walk in submission order, partitioning into survivors (requeued)
+	// and exhausted schedules (completed with the typed verdict). The
+	// survivors keep their relative order and precede the whole queue.
+	var keep []*Pending
+	for _, p := range victims {
+		c.counters.Corrupted.Add(1)
+		if p.attempt >= p.retry.Attempts || budgetSpent(p.start, p.retry) {
+			p.complete(unavailable(opName(p.op), p.key, p.attempt+1, cause))
+			continue
+		}
+		p.attempt++
+		c.counters.Retried.Add(1)
+		if p.backoff > 0 {
+			p.wait = p.backoff
+			p.backoff *= 2
+		}
+		keep = append(keep, p)
+	}
+	if len(keep) > 0 {
+		c.queue = append(keep, c.queue...)
+	}
+	c.pcond.Broadcast()
+}
+
+var _ Pipelined = (*NetClient)(nil)
+var _ Pipelined = (*Local)(nil)

@@ -310,6 +310,26 @@ func (l *Local) Get(key uint64, r Retry, _ bool) (*frame.Frame, error) {
 	}
 }
 
+// PutAsync implements Pipelined. The in-process byte path has no
+// latency to hide, so the op executes synchronously at submit time and
+// the handle comes back resolved — schedulers written against handles
+// keep this backend's deterministic op ordering (and its fault
+// injection points) exactly.
+func (l *Local) PutAsync(key uint64, data []byte, r Retry) *Pending {
+	n, err := l.Put(key, data, r)
+	return resolvedPending(OpPut, key, func(p *Pending) { p.stored = n; p.err = err })
+}
+
+// GetAsync implements Pipelined, inline like PutAsync.
+func (l *Local) GetAsync(key uint64, r Retry, coef bool) *Pending {
+	op := uint8(OpGet)
+	if coef {
+		op = OpGetCoef
+	}
+	f, err := l.Get(key, r, coef)
+	return resolvedPending(op, key, func(p *Pending) { p.f = f; p.err = err })
+}
+
 // Delete implements Transport. Deleting an absent key is not an error —
 // the store calls it best-effort after a successful restore.
 func (l *Local) Delete(key uint64) error {

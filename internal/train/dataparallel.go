@@ -6,7 +6,24 @@ package train
 // (in-process Local or the networked store), with a fixed-order exact
 // all-reduce that makes the final weights bit-identical for any K.
 //
-// The determinism contract, piece by piece:
+// Since PR 10 the exchange is *backward-overlapped and bucketed*,
+// DDP-style: each worker partitions its flat gradient into fixed-size
+// buckets (nn.BucketPlan — bucket == wire chunk) and ships each bucket
+// with an asynchronous pipelined PUT the moment backward has finalized
+// every parameter inside it, which — backward running in reverse
+// network order — means tail-of-network buckets are on the wire while
+// the head of the network is still differentiating. The reducer runs
+// concurrently with the workers from the start of the step: it issues
+// pipelined GETs in one fixed global order (chunk descending to follow
+// the production order, microbatch ascending within a chunk), gated on
+// an in-process readiness board that publishes each PUT's server
+// acknowledgment, and drains completions through a FIFO reorder buffer
+// in exactly the issue order. Overlap therefore changes wall time only:
+// every gradient element is still accumulated microbatch 0..M-1, the
+// same float32 op order the serial exchange used, for any K and any
+// bucket size.
+//
+// The rest of the determinism contract, piece by piece:
 //
 //   - A step is always the same M microbatches, drawn centrally by the
 //     driver from the sequential data stream. K only controls which
@@ -18,10 +35,8 @@ package train
 //     same dropout masks no matter which worker runs it, and BN
 //     statistics are anchored to the step start for all of them.
 //   - Per-microbatch gradients cross the transport as framed chunks
-//     under the gradient key namespace (transport.GradKey). The
-//     reducer fetches them back in microbatch order 0..M-1 and
-//     accumulates in that fixed order — float32 addition is
-//     deterministic, only its order varies, and here it doesn't.
+//     under the gradient key namespace (transport.GradKey), one chunk
+//     per bucket, so the wire format is the PR-9 one unchanged.
 //   - The reduced gradient is published once (slot 0) and every
 //     replica imports the same bytes, scales by 1/M exactly once, and
 //     steps its own optimizer. Identical weights + identical gradients
@@ -66,6 +81,21 @@ type DPOptions struct {
 	// GradCodec selects the gradient wire codec: frame.CodecGradRaw
 	// (default, lossless) or frame.CodecGradQuant (error-bounded int8).
 	GradCodec frame.Codec
+	// BucketBytes sets the gradient bucket size in raw float32 bytes
+	// (default 256 KiB). A bucket is one wire chunk: smaller buckets
+	// leave backward earlier (finer overlap) but cost more frames.
+	// The value never affects the result, only the schedule.
+	BucketBytes int
+	// Window bounds each networked exchange client's asynchronous
+	// in-flight window (default 8; 1 degenerates to stop-and-wait).
+	Window int
+	// SerialExchange disables the backward-overlapped bucketed
+	// exchange and replays the PR-9 serial schedule — flatten, put
+	// every chunk stop-and-wait after backward completes, reduce only
+	// once every worker has finished — as the baseline the bench
+	// driver measures overlap against. The float32 accumulation order
+	// is identical either way, so the trained weights match exactly.
+	SerialExchange bool
 	// StoreDial, when set, exchanges gradients through a networked
 	// activation store instead of the in-process transport. Every
 	// worker and the reducer gets its own connection.
@@ -92,89 +122,377 @@ func (dp DPOptions) withDefaults() DPOptions {
 	if dp.GradCodec == 0 {
 		dp.GradCodec = frame.CodecGradRaw
 	}
+	if dp.BucketBytes <= 0 {
+		dp.BucketBytes = 4 * gradChunkElems
+	}
+	if dp.Window <= 0 {
+		dp.Window = 8
+	}
+	if dp.SerialExchange {
+		// The baseline schedule is PR 9 verbatim: stop-and-wait wire ops.
+		dp.Window = 1
+	}
 	return dp
 }
 
-// gradChunkElems bounds one gradient frame to 2^16 float32 values
-// (256 KiB raw) — far under the frame caps and, with 12 chunk bits,
-// enough for 268M-parameter networks.
+// gradChunkElems is the default bucket/chunk capacity: 2^16 float32
+// values (256 KiB raw) — far under the frame caps and, with 12 chunk
+// bits, enough for 268M-parameter networks.
 const gradChunkElems = 1 << 16
 
 // gradExchange moves one goroutine's gradient vectors through a
 // transport as framed chunks. Not safe for concurrent use — each
-// worker and the reducer owns one.
+// worker and the reducer owns one. Encode and decode go through pooled
+// per-chunk scratch buffers: the exchange runs once per chunk per
+// microbatch per step, so fresh allocations here were measurable churn.
 type gradExchange struct {
-	tr       transport.Transport
+	tr       transport.Pipelined
 	pipe     codec.Pipeline
 	codec    frame.Codec
 	tag      uint64
 	retry    transport.Retry
+	window   int
+	chunk    int // bucket capacity in elements
 	counters *transport.Counters
+
+	encBuf []float32 // pooled encode staging (chunk elems)
+	decBuf []float32 // pooled decode staging (chunk elems)
 }
 
-func chunkCount(n int) int { return (n + gradChunkElems - 1) / gradChunkElems }
+func (g *gradExchange) chunkCount(n int) int { return (n + g.chunk - 1) / g.chunk }
 
-// put ships flat as chunked frames under (step, slot).
+// chunkSpan returns chunk c's half-open element range in an n-element
+// vector.
+func (g *gradExchange) chunkSpan(c, n int) (lo, hi int) {
+	lo = c * g.chunk
+	hi = lo + g.chunk
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// encodeChunk frames flat's chunk c through the pooled staging tensor.
+// The returned bytes are freshly allocated (the wire retains them for
+// resends); the staging buffer is reusable as soon as this returns.
+func (g *gradExchange) encodeChunk(flat []float32, c int) ([]byte, error) {
+	lo, hi := g.chunkSpan(c, len(flat))
+	n := hi - lo
+	if cap(g.encBuf) < n {
+		g.encBuf = make([]float32, n)
+	}
+	x := &tensor.Tensor{Shape: tensor.Shape{N: 1, C: 1, H: 1, W: n}, Data: g.encBuf[:n]}
+	copy(x.Data, flat[lo:hi])
+	enc, err := g.pipe.EncodeGradient(g.codec, x)
+	if err != nil {
+		return nil, err
+	}
+	return frame.EncodeFrame(enc.Frame), nil
+}
+
+// putTicket tracks one async chunk PUT until its acknowledgment.
+type putTicket struct {
+	c    int
+	size int
+	h    *transport.Pending
+}
+
+// awaitPut settles one PUT ticket, counting the landed chunk.
+func (g *gradExchange) awaitPut(step, slot uint64, t putTicket) error {
+	if _, err := t.h.PutResult(); err != nil {
+		return fmt.Errorf("grad put step=%d slot=%d chunk=%d: %w", step, slot, t.c, err)
+	}
+	g.counters.GradPuts.Add(1)
+	g.counters.BytesGrad.Add(int64(t.size))
+	return nil
+}
+
+// put ships flat as chunked frames under (step, slot), keeping up to
+// window chunk PUTs in flight.
 func (g *gradExchange) put(step, slot uint64, flat []float32) error {
-	for c := 0; c*gradChunkElems < len(flat); c++ {
-		lo := c * gradChunkElems
-		hi := lo + gradChunkElems
-		if hi > len(flat) {
-			hi = len(flat)
+	var fifo []putTicket
+	abandon := func(err error) error {
+		for _, t := range fifo {
+			t.h.Err() // drain so no handle outlives the call
 		}
-		x := tensor.New(1, 1, 1, hi-lo)
-		copy(x.Data, flat[lo:hi])
-		enc, err := g.pipe.EncodeGradient(g.codec, x)
+		return err
+	}
+	for c := 0; c*g.chunk < len(flat); c++ {
+		b, err := g.encodeChunk(flat, c)
 		if err != nil {
-			return err
+			return abandon(err)
 		}
-		b := frame.EncodeFrame(enc.Frame)
-		if _, err := g.tr.Put(transport.GradKey(g.tag, step, slot, uint64(c)), b, g.retry); err != nil {
-			return fmt.Errorf("grad put step=%d slot=%d chunk=%d: %w", step, slot, c, err)
+		for len(fifo) >= g.window {
+			t := fifo[0]
+			fifo = fifo[1:]
+			if err := g.awaitPut(step, slot, t); err != nil {
+				return abandon(err)
+			}
 		}
-		g.counters.GradPuts.Add(1)
-		g.counters.BytesGrad.Add(int64(len(b)))
+		h := g.tr.PutAsync(transport.GradKey(g.tag, step, slot, uint64(c)), b, g.retry)
+		fifo = append(fifo, putTicket{c, len(b), h})
+	}
+	for len(fifo) > 0 {
+		t := fifo[0]
+		fifo = fifo[1:]
+		if err := g.awaitPut(step, slot, t); err != nil {
+			return abandon(err)
+		}
 	}
 	return nil
 }
 
-// get fetches the n-element vector stored under (step, slot) back into
-// dst (len n).
+// decodeChunkInto settles one GET handle and decodes the chunk into
+// dst, reporting the encoded byte count.
+func (g *gradExchange) decodeChunkInto(step, slot uint64, c int, h *transport.Pending, dst []float32) error {
+	f, err := h.GetResult()
+	if err != nil {
+		return fmt.Errorf("grad get step=%d slot=%d chunk=%d: %w", step, slot, c, err)
+	}
+	if f.Shape.Elems() != len(dst) {
+		return fmt.Errorf("grad get step=%d slot=%d chunk=%d: %d values, want %d", step, slot, c, f.Shape.Elems(), len(dst))
+	}
+	if err := g.pipe.DecodeGradientInto(f, dst); err != nil {
+		return fmt.Errorf("grad decode step=%d slot=%d chunk=%d: %w", step, slot, c, err)
+	}
+	g.counters.GradGets.Add(1)
+	g.counters.BytesGrad.Add(int64(f.EncodedSize()))
+	return nil
+}
+
+// getTicket tracks one async chunk GET until its frame arrives.
+type getTicket struct {
+	m, c int
+	h    *transport.Pending
+}
+
+// get fetches the vector stored under (step, slot) back into dst,
+// keeping up to window chunk GETs in flight and decoding straight into
+// dst's chunk spans.
 func (g *gradExchange) get(step, slot uint64, dst []float32) error {
-	off := 0
-	for c := 0; off < len(dst); c++ {
-		f, err := g.tr.Get(transport.GradKey(g.tag, step, slot, uint64(c)), g.retry, false)
-		if err != nil {
-			return fmt.Errorf("grad get step=%d slot=%d chunk=%d: %w", step, slot, c, err)
+	var fifo []getTicket
+	abandon := func(err error) error {
+		for _, t := range fifo {
+			t.h.Err()
 		}
-		x, err := g.pipe.Decode(f)
-		if err != nil {
-			return fmt.Errorf("grad decode step=%d slot=%d chunk=%d: %w", step, slot, c, err)
+		return err
+	}
+	drain := func() error {
+		t := fifo[0]
+		fifo = fifo[1:]
+		lo, hi := g.chunkSpan(t.c, len(dst))
+		return g.decodeChunkInto(step, slot, t.c, t.h, dst[lo:hi])
+	}
+	for c := 0; c*g.chunk < len(dst); c++ {
+		for len(fifo) >= g.window {
+			if err := drain(); err != nil {
+				return abandon(err)
+			}
 		}
-		if off+x.Elems() > len(dst) {
-			return fmt.Errorf("grad get step=%d slot=%d: chunks exceed %d elements", step, slot, len(dst))
+		h := g.tr.GetAsync(transport.GradKey(g.tag, step, slot, uint64(c)), g.retry, false)
+		fifo = append(fifo, getTicket{0, c, h})
+	}
+	for len(fifo) > 0 {
+		if err := drain(); err != nil {
+			return abandon(err)
 		}
-		copy(dst[off:], x.Data)
-		off += x.Elems()
-		g.counters.GradGets.Add(1)
-		g.counters.BytesGrad.Add(int64(f.EncodedSize()))
 	}
 	return nil
 }
 
 // del releases (step, slot)'s chunks, best-effort.
 func (g *gradExchange) del(step, slot uint64, n int) {
-	for c := 0; c < chunkCount(n); c++ {
+	for c := 0; c < g.chunkCount(n); c++ {
 		g.tr.Delete(transport.GradKey(g.tag, step, slot, uint64(c)))
 	}
 }
 
-// dpReplica is one worker's private world: model, optimizer, exchange.
+// gradBoard publishes worker PUT acknowledgments to the streaming
+// reducer: a GET for (microbatch, chunk) issued before the server
+// acknowledged the worker's PUT would race a terminal NotFound, so the
+// reducer gates each issue on the board. fail wakes every waiter with
+// the first error so neither side can deadlock on a dead peer.
+type gradBoard struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready map[[2]int]bool
+	err   error
+}
+
+func newGradBoard() *gradBoard {
+	b := &gradBoard{ready: map[[2]int]bool{}}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *gradBoard) reset() {
+	b.mu.Lock()
+	for k := range b.ready {
+		delete(b.ready, k)
+	}
+	b.err = nil
+	b.mu.Unlock()
+}
+
+func (b *gradBoard) publish(m, c int) {
+	b.mu.Lock()
+	b.ready[[2]int{m, c}] = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *gradBoard) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *gradBoard) wait(m, c int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for !b.ready[[2]int{m, c}] && b.err == nil {
+		b.cond.Wait()
+	}
+	return b.err
+}
+
+// reduceStreaming zeroes reduced and accumulates all M microbatch
+// vectors of step into it, running concurrently with the workers that
+// produce them. GETs are issued in one fixed global order — chunk
+// descending (tail buckets are published first, since backward runs in
+// reverse network order), microbatch ascending within a chunk — each
+// gated on the board, and completions drain through the FIFO reorder
+// buffer in exactly the issue order. Per gradient element the float32
+// adds therefore happen microbatch 0..M-1, the same order the serial
+// reduction used, regardless of K, bucket size or wire timing.
+func (g *gradExchange) reduceStreaming(board *gradBoard, step uint64, M int, reduced []float32) error {
+	for i := range reduced {
+		reduced[i] = 0
+	}
+	if cap(g.decBuf) < g.chunk {
+		g.decBuf = make([]float32, g.chunk)
+	}
+	var fifo []getTicket
+	abandon := func(err error) error {
+		for _, t := range fifo {
+			t.h.Err()
+		}
+		return err
+	}
+	drain := func() error {
+		t := fifo[0]
+		fifo = fifo[1:]
+		lo, hi := g.chunkSpan(t.c, len(reduced))
+		buf := g.decBuf[:hi-lo]
+		if err := g.decodeChunkInto(step, uint64(t.m+1), t.c, t.h, buf); err != nil {
+			return err
+		}
+		acc := reduced[lo:hi]
+		for i, v := range buf {
+			acc[i] += v
+		}
+		return nil
+	}
+	for c := g.chunkCount(len(reduced)) - 1; c >= 0; c-- {
+		for m := 0; m < M; m++ {
+			if err := board.wait(m, c); err != nil {
+				return abandon(err)
+			}
+			for len(fifo) >= g.window {
+				if err := drain(); err != nil {
+					return abandon(err)
+				}
+			}
+			h := g.tr.GetAsync(transport.GradKey(g.tag, step, uint64(m+1), uint64(c)), g.retry, false)
+			fifo = append(fifo, getTicket{m, c, h})
+		}
+	}
+	for len(fifo) > 0 {
+		if err := drain(); err != nil {
+			return abandon(err)
+		}
+	}
+	return nil
+}
+
+// dpReplica is one worker's private world: model, optimizer, exchange,
+// bucket plan.
 type dpReplica struct {
 	model *models.Model
 	opt   nn.Optimizer
 	gx    *gradExchange
+	plan  *nn.BucketPlan
 	flat  []float32 // scratch: this replica's flattened gradient
+}
+
+// runMicrobatchOverlapped differentiates microbatch m and ships its
+// gradient buckets as backward produces them: the OnGrad hook copies
+// each finalized parameter into the flat vector and launches an async
+// PUT for every bucket that just completed; a waiter goroutine settles
+// the acknowledgments in issue order and publishes them to the board.
+// A post-backward sweep covers any parameters the hook did not see
+// (topologies outside the container walk), so every bucket always
+// ships exactly once.
+func (r *dpReplica) runMicrobatchOverlapped(step uint64, m int, board *gradBoard, putWG *sync.WaitGroup, grad *tensor.Tensor) error {
+	slot := uint64(m + 1)
+	tickets := make(chan putTicket, r.plan.Buckets())
+	gx := r.gx
+	putWG.Add(1)
+	go func() {
+		for t := range tickets {
+			if err := gx.awaitPut(step, slot, t); err != nil {
+				board.fail(err)
+				for rest := range tickets {
+					rest.h.Err()
+				}
+				break
+			}
+			board.publish(m, t.c)
+		}
+		putWG.Done()
+	}()
+	var hookErr error
+	flush := func(buckets []int) {
+		for _, c := range buckets {
+			if hookErr != nil {
+				return
+			}
+			b, err := r.gx.encodeChunk(r.flat, c)
+			if err != nil {
+				hookErr = err
+				return
+			}
+			h := r.gx.tr.PutAsync(transport.GradKey(r.gx.tag, step, slot, uint64(c)), b, r.gx.retry)
+			tickets <- putTicket{c, len(b), h}
+		}
+	}
+	hooks := &nn.Hooks{OnGrad: func(p *nn.Param) {
+		off, ok := r.plan.Offset(p)
+		if !ok {
+			return
+		}
+		copy(r.flat[off:off+p.Grad.Elems()], p.Grad.Data)
+		flush(r.plan.Produce(p))
+	}}
+	r.plan.Reset()
+	nn.SetHooks(r.model.Net, hooks)
+	r.model.Net.Backward(grad)
+	nn.SetHooks(r.model.Net, nil)
+	// Safety sweep: anything backward finalized without an OnGrad event.
+	for _, p := range r.plan.Unproduced() {
+		off, _ := r.plan.Offset(p)
+		copy(r.flat[off:off+p.Grad.Elems()], p.Grad.Data)
+		flush(r.plan.Produce(p))
+	}
+	close(tickets)
+	if hookErr != nil {
+		board.fail(hookErr)
+		return hookErr
+	}
+	return nil
 }
 
 // ClassifierDataParallel trains a classification model across
@@ -182,7 +500,8 @@ type dpReplica struct {
 // activation-store transport. newModel must build identical replicas
 // on every call (seed the weight RNG inside it); it is called K times.
 // The returned snapshot aggregates the exchange counters of every
-// client. Final weights are bit-identical for any Replicas value.
+// client. Final weights are bit-identical for any Replicas value, any
+// BucketBytes, and with SerialExchange on or off.
 func ClassifierDataParallel(newModel func() *models.Model, ds *data.Classification, cfg Config, dp DPOptions) (Report, transport.Snapshot, error) {
 	cfg = cfg.withDefaults()
 	dp = dp.withDefaults()
@@ -191,6 +510,10 @@ func ClassifierDataParallel(newModel func() *models.Model, ds *data.Classificati
 		return Report{}, transport.Snapshot{}, fmt.Errorf("train: %d replicas exceed %d microbatches", dp.Replicas, dp.Microbatches)
 	}
 	K, M := dp.Replicas, dp.Microbatches
+	chunkElems := dp.BucketBytes / 4
+	if chunkElems < 1 {
+		chunkElems = 1
+	}
 
 	counters := &transport.Counters{}
 	retry := transport.Retry{Attempts: 8, Backoff: time.Millisecond, Total: dp.StoreTimeout}
@@ -215,6 +538,7 @@ func ClassifierDataParallel(newModel func() *models.Model, ds *data.Classificati
 		c := transport.NewNetClient(dp.StoreDial, counters)
 		c.OpTimeout = retry.OpTimeout
 		c.Hedge = dp.StoreHedge
+		c.Window = dp.Window
 		if dp.ClientHook != nil {
 			dp.ClientHook(c)
 		}
@@ -223,7 +547,10 @@ func ClassifierDataParallel(newModel func() *models.Model, ds *data.Classificati
 	tag := transport.GradTag(cfg.Seed)
 	pipe := codec.New(quant.OptL()) // DQT unused by gradient codecs
 	newExchange := func() *gradExchange {
-		return &gradExchange{tr: newTransport(), pipe: pipe, codec: dp.GradCodec, tag: tag, retry: retry, counters: counters}
+		return &gradExchange{
+			tr: transport.AsPipelined(newTransport()), pipe: pipe, codec: dp.GradCodec,
+			tag: tag, retry: retry, window: dp.Window, chunk: chunkElems, counters: counters,
+		}
 	}
 
 	reps := make([]*dpReplica, K)
@@ -236,6 +563,7 @@ func ClassifierDataParallel(newModel func() *models.Model, ds *data.Classificati
 			return Report{}, counters.Snapshot(), fmt.Errorf("train: replica %d gradient size differs — newModel is not deterministic", k)
 		}
 		r.flat = make([]float32, gradSize)
+		r.plan = nn.NewBucketPlan(r.model.Net, chunkElems)
 	}
 	if shared == nil {
 		for _, r := range reps {
@@ -246,6 +574,7 @@ func ClassifierDataParallel(newModel func() *models.Model, ds *data.Classificati
 	if shared == nil {
 		defer reducer.tr.Close()
 	}
+	board := newGradBoard()
 
 	rep := Report{
 		ModelName:  reps[0].model.Name,
@@ -277,11 +606,19 @@ func ClassifierDataParallel(newModel func() *models.Model, ds *data.Classificati
 				microX[m], microY[m] = ds.Batch(cfg.BatchSize)
 			}
 
-			// Phase 1: every worker runs its share of microbatches and
-			// publishes each microbatch gradient.
+			// Phases 1+2: every worker runs its share of microbatches,
+			// shipping gradient buckets as backward produces them, while
+			// the reducer streams them into the fixed-order accumulation
+			// concurrently. (SerialExchange replays the PR-9 schedule:
+			// publish after backward, reduce after all workers finish.)
 			var lead nn.NetState // microbatch 0's post-forward state
 			errs := make([]error, K)
-			var wg sync.WaitGroup
+			redErr := make(chan error, 1)
+			board.reset()
+			if !dp.SerialExchange {
+				go func() { redErr <- reducer.reduceStreaming(board, step, M, reduced) }()
+			}
+			var wg, putWG sync.WaitGroup
 			for k := 0; k < K; k++ {
 				wg.Add(1)
 				go func(k int) {
@@ -296,9 +633,14 @@ func ClassifierDataParallel(newModel func() *models.Model, ds *data.Classificati
 						out := r.model.Net.Forward(&nn.ActRef{Kind: compress.KindConv, T: microX[m]}, true)
 						loss, grad := nn.SoftmaxCrossEntropy(out.T, microY[m])
 						losses[m] = loss
-						r.model.Net.Backward(grad)
-						nn.FlattenGrads(r.model.Net, r.flat)
-						if err := r.gx.put(step, uint64(m+1), r.flat); err != nil {
+						if dp.SerialExchange {
+							r.model.Net.Backward(grad)
+							nn.FlattenGrads(r.model.Net, r.flat)
+							if err := r.gx.put(step, uint64(m+1), r.flat); err != nil {
+								errs[k] = err
+								return
+							}
+						} else if err := r.runMicrobatchOverlapped(step, m, board, &putWG, grad); err != nil {
 							errs[k] = err
 							return
 						}
@@ -309,25 +651,33 @@ func ClassifierDataParallel(newModel func() *models.Model, ds *data.Classificati
 				}(k)
 			}
 			wg.Wait()
+			putWG.Wait()
 			for _, err := range errs {
 				if err != nil {
+					board.fail(err)
+					if !dp.SerialExchange {
+						<-redErr // the reducer observes the failure and exits
+					}
 					return rep, counters.Snapshot(), err
 				}
 			}
-
-			// Phase 2: fixed-order exact reduction. Microbatch order
-			// 0..M-1, element-wise float32 accumulation — the one order
-			// every K produces.
-			for i := range reduced {
-				reduced[i] = 0
-			}
-			for m := 0; m < M; m++ {
-				if err := reducer.get(step, uint64(m+1), mbVec); err != nil {
-					return rep, counters.Snapshot(), err
+			if dp.SerialExchange {
+				// Fixed-order exact reduction after the fact: microbatch
+				// order 0..M-1, element-wise float32 accumulation — the
+				// same per-element op order the streaming reducer uses.
+				for i := range reduced {
+					reduced[i] = 0
 				}
-				for i, v := range mbVec {
-					reduced[i] += v
+				for m := 0; m < M; m++ {
+					if err := reducer.get(step, uint64(m+1), mbVec); err != nil {
+						return rep, counters.Snapshot(), err
+					}
+					for i, v := range mbVec {
+						reduced[i] += v
+					}
 				}
+			} else if err := <-redErr; err != nil {
+				return rep, counters.Snapshot(), err
 			}
 			if err := reducer.put(step, 0, reduced); err != nil {
 				return rep, counters.Snapshot(), err

@@ -64,9 +64,12 @@ echo "wrote BENCH_netstore.json:"
 grep -E 'clients|throughput|p99|trajectory|replica|hedged' BENCH_netstore.json
 
 # Data-parallel replica scaling: K workers exchanging gradients through
-# the activation-store transport, measured wall-clock speedup next to
-# the gpusim ring all-reduce prediction. Exits non-zero if any replica
-# count lands on weights that differ from K=1.
+# an in-process actstore on a unix socket (real wire costs, pipelined
+# window 8), measured wall-clock speedup next to the gpusim ring
+# all-reduce predictions, with every sweep point rerun in
+# serial-exchange mode for the overlap baseline. Exits non-zero if any
+# replica count — in either exchange mode — lands on weights that
+# differ from K=1.
 go run ./cmd/offloadbench -dp -dp-replicas 1,2,4 > BENCH_dataparallel.json
 echo "wrote BENCH_dataparallel.json:"
 grep -E 'replicas|speedup|weights_match' BENCH_dataparallel.json
